@@ -1,0 +1,138 @@
+// Ablation studies for the design choices discussed in the paper:
+//   1. hierarchical dissemination fan-out (§6.2 remedy for the small-payload
+//      flatline),
+//   2. token-revocation epochs (§6.1 mitigation) — the HVE cost of the extra
+//      epoch attribute and of per-epoch token refresh,
+//   3. metadata-space width — how P and P_E drive both crypto cost and the
+//      DS broadcast bottleneck,
+//   4. GUID super-encryption (footnote 1) — publish-side cost of closing the
+//      GUID leak.
+#include <cstdio>
+
+#include "abe/policy.hpp"
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "model/analytic.hpp"
+#include "pairing/ecies.hpp"
+#include "pbe/epoch.hpp"
+#include "pbe/hve.hpp"
+#include "pbe/schema.hpp"
+
+using namespace p3s;  // NOLINT
+using benchutil::human_bytes;
+using benchutil::human_time;
+using benchutil::time_op;
+
+int main() {
+  TestRng rng(0xab1a);
+  const auto pp = pairing::Pairing::test_pairing();
+
+  // --- 1. hierarchical dissemination ---------------------------------------
+  std::printf("=== Ablation 1: hierarchical dissemination fan-out (1KB payload, f=5%%) ===\n\n");
+  const model::ModelParams p = model::ModelParams::paper_defaults();
+  const double c = 1024.0;
+  std::printf("%8s  %14s  %16s  %14s\n", "fanout", "thr (pub/s)",
+              "bottleneck", "fanout lat (s)");
+  std::printf("%8s  %14.3f  %16s  %14.3f   (flat: paper architecture)\n", "-",
+              model::p3s_throughput(p, c).total(),
+              model::p3s_throughput(p, c).bottleneck(),
+              model::p3s_latency(p, c).tp2);
+  for (unsigned fanout : {2u, 5u, 10u, 20u, 50u}) {
+    const auto thr = model::p3s_throughput_hierarchical(p, c, fanout);
+    const auto lat = model::p3s_latency_hierarchical(p, c, fanout);
+    std::printf("%8u  %14.3f  %16s  %14.3f\n", fanout, thr.total(),
+                thr.bottleneck(), lat.tp2);
+  }
+  std::printf("\n");
+
+  // --- 2. epoch overhead -----------------------------------------------------
+  std::printf("=== Ablation 2: token-revocation epochs (HVE cost) ===\n\n");
+  const auto base_schema = pbe::MetadataSchema::uniform(13, 8);  // 39-bit
+  std::printf("%14s  %8s  %10s  %10s  %10s\n", "config", "width", "enc_P",
+              "t_PBE", "P_E");
+  for (const std::size_t n_epochs : {0u, 4u, 16u, 64u}) {
+    pbe::MetadataSchema schema = base_schema;
+    pbe::Metadata md;
+    for (const auto& spec : base_schema.attributes()) md[spec.name] = "v0";
+    pbe::Interest interest = {{"attr0", "v0"}, {"attr1", "v1"}};
+    if (n_epochs > 0) {
+      const pbe::EpochPolicy ep(n_epochs, 60.0);
+      schema = ep.extend(base_schema);
+      md = ep.stamp(md, 0.0);
+      interest = ep.restrict(interest, 0.0);
+    }
+    const auto keys = pbe::hve_setup(pp, schema.width(), rng);
+    const auto bits = schema.encode_metadata(md);
+    const auto pattern = schema.encode_interest(interest);
+    Bytes ct;
+    const double enc = time_op(3, [&] {
+      ct = pbe::hve_encrypt_bytes(keys.pk, bits, rng.bytes(16), rng);
+    });
+    const auto tok = pbe::hve_gen_token(keys, pattern, rng);
+    const double match = time_op(3, [&] {
+      (void)pbe::hve_query_bytes(*pp, tok, ct);
+    });
+    char label[32];
+    if (n_epochs == 0) {
+      std::snprintf(label, sizeof(label), "no epochs");
+    } else {
+      std::snprintf(label, sizeof(label), "%zu epochs", n_epochs);
+    }
+    std::printf("%14s  %8zu  %10s  %10s  %10s\n", label, schema.width(),
+                human_time(enc).c_str(), human_time(match).c_str(),
+                human_bytes(static_cast<double>(ct.size())).c_str());
+  }
+  std::printf("  -> revocation costs a few extra bits of vector width; the\n"
+              "     match cost scales with the token's concrete positions.\n\n");
+
+  // --- 3. metadata-space width ------------------------------------------------
+  std::printf("=== Ablation 3: metadata-space width (P) vs cost and DS bottleneck ===\n\n");
+  std::printf("%8s  %10s  %10s  %10s  %16s\n", "width", "enc_P", "t_PBE",
+              "P_E", "ds-cap (pub/s)");
+  for (const std::size_t attrs : {4u, 8u, 13u, 20u}) {
+    const auto schema = pbe::MetadataSchema::uniform(attrs, 8);
+    const auto keys = pbe::hve_setup(pp, schema.width(), rng);
+    pbe::BitVector bits(schema.width());
+    pbe::Pattern pattern(schema.width());
+    for (std::size_t i = 0; i < schema.width(); ++i) {
+      bits[i] = static_cast<std::uint8_t>(rng.uniform(2));
+      pattern[i] = static_cast<std::int8_t>(bits[i]);
+    }
+    Bytes ct;
+    const double enc = time_op(3, [&] {
+      ct = pbe::hve_encrypt_bytes(keys.pk, bits, rng.bytes(16), rng);
+    });
+    const auto tok = pbe::hve_gen_token(keys, pattern, rng);
+    const double match = time_op(3, [&] {
+      (void)pbe::hve_query_bytes(*pp, tok, ct);
+    });
+    model::ModelParams mp = model::ModelParams::paper_defaults();
+    mp.metadata_ct_bytes = static_cast<double>(ct.size());
+    std::printf("%8zu  %10s  %10s  %10s  %16.3f\n", schema.width(),
+                human_time(enc).c_str(), human_time(match).c_str(),
+                human_bytes(static_cast<double>(ct.size())).c_str(),
+                model::p3s_throughput(mp, 1024.0).r_ds);
+  }
+  std::printf("  -> vector width drives every PBE cost linearly AND shrinks the\n"
+              "     DS broadcast capacity: the metadata space is THE P3S sizing knob.\n\n");
+
+  // --- 4. GUID super-encryption -------------------------------------------------
+  std::printf("=== Ablation 4: GUID super-encryption (footnote 1) ===\n\n");
+  {
+    const auto guid = rng.bytes(16);
+    const auto kp = pairing::ecies_keygen(*pp, rng);
+    const double wrap = time_op(10, [&] {
+      (void)pairing::ecies_encrypt(*pp, kp.public_key, guid, rng);
+    });
+    Bytes blob = pairing::ecies_encrypt(*pp, kp.public_key, guid, rng);
+    const double unwrap = time_op(10, [&] {
+      (void)pairing::ecies_decrypt(*pp, kp.secret, blob);
+    });
+    std::printf("  publisher-side wrap: %s   RS-side unwrap: %s   size: 16B -> %s\n",
+                human_time(wrap).c_str(), human_time(unwrap).c_str(),
+                human_bytes(static_cast<double>(blob.size())).c_str());
+    std::printf("  -> closing the eavesdropper GUID leak costs two ECIES ops per\n"
+                "     publication — negligible next to enc_P/enc_A.\n");
+  }
+  return 0;
+}

@@ -1,0 +1,193 @@
+// Google-benchmark microbenchmarks for every cryptographic primitive in the
+// stack — the measurements that parameterize the §6.2 models (enc_P, t_PBE,
+// enc_A, dec_A) plus the substrate operations underneath them.
+#include <benchmark/benchmark.h>
+
+#include "abe/cpabe.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/sha256.hpp"
+#include "pairing/ecies.hpp"
+#include "pairing/pairing.hpp"
+#include "pairing/schnorr.hpp"
+#include "pbe/hve.hpp"
+
+namespace {
+
+using namespace p3s;  // NOLINT
+
+pairing::PairingPtr pp() { return pairing::Pairing::test_pairing(); }
+
+void BM_Sha256_1KB(benchmark::State& state) {
+  TestRng rng(1);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::digest(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_Sha256_1KB);
+
+void BM_AeadSeal_1KB(benchmark::State& state) {
+  TestRng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes data = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::aead_encrypt(key, data, {}, rng));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) * 1024);
+}
+BENCHMARK(BM_AeadSeal_1KB);
+
+void BM_G1_ScalarMul(benchmark::State& state) {
+  TestRng rng(3);
+  const auto p = pp();
+  const auto pt = p->random_g1(rng);
+  const auto k = p->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->mul(pt, k));
+  }
+}
+BENCHMARK(BM_G1_ScalarMul);
+
+void BM_Pairing(benchmark::State& state) {
+  TestRng rng(4);
+  const auto p = pp();
+  const auto a = p->random_g1(rng);
+  const auto b = p->random_g1(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->pair(a, b));
+  }
+}
+BENCHMARK(BM_Pairing);
+
+void BM_HashToG1(benchmark::State& state) {
+  const auto p = pp();
+  std::uint64_t i = 0;
+  for (auto _ : state) {
+    Writer w;
+    w.u64(i++);
+    benchmark::DoNotOptimize(p->hash_to_g1(w.data()));
+  }
+}
+BENCHMARK(BM_HashToG1);
+
+void BM_Ecies_Encrypt(benchmark::State& state) {
+  TestRng rng(5);
+  const auto p = pp();
+  const auto kp = pairing::ecies_keygen(*p, rng);
+  const Bytes msg = rng.bytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::ecies_encrypt(*p, kp.public_key, msg, rng));
+  }
+}
+BENCHMARK(BM_Ecies_Encrypt);
+
+void BM_Schnorr_Sign(benchmark::State& state) {
+  TestRng rng(6);
+  const auto p = pp();
+  const auto kp = pairing::schnorr_keygen(*p, rng);
+  const Bytes msg = rng.bytes(64);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::schnorr_sign(*p, kp.secret, msg, rng));
+  }
+}
+BENCHMARK(BM_Schnorr_Sign);
+
+// --- HVE: enc_P and t_PBE as a function of vector width -------------------------
+
+void BM_Hve_Encrypt(benchmark::State& state) {
+  TestRng rng(7);
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const auto keys = pbe::hve_setup(pp(), width, rng);
+  pbe::BitVector x(width);
+  for (auto& b : x) b = static_cast<std::uint8_t>(rng.uniform(2));
+  const Bytes guid = rng.bytes(16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbe::hve_encrypt_bytes(keys.pk, x, guid, rng));
+  }
+}
+BENCHMARK(BM_Hve_Encrypt)->Arg(8)->Arg(20)->Arg(40);
+
+void BM_Hve_Match(benchmark::State& state) {
+  TestRng rng(8);
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const auto keys = pbe::hve_setup(pp(), width, rng);
+  pbe::BitVector x(width);
+  pbe::Pattern w(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    x[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    w[i] = static_cast<std::int8_t>(x[i]);  // full-width match: worst case
+  }
+  const Bytes ct = pbe::hve_encrypt_bytes(keys.pk, x, rng.bytes(16), rng);
+  const auto tok = pbe::hve_gen_token(keys, w, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbe::hve_query_bytes(*keys.pk.pairing, tok, ct));
+  }
+}
+BENCHMARK(BM_Hve_Match)->Arg(8)->Arg(20)->Arg(40);
+
+void BM_Hve_GenToken(benchmark::State& state) {
+  TestRng rng(9);
+  const std::size_t width = 40;
+  const auto keys = pbe::hve_setup(pp(), width, rng);
+  pbe::Pattern w(width, pbe::kWildcard);
+  for (std::size_t i = 0; i < 6; ++i) w[i] = 1;  // typical sparse predicate
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbe::hve_gen_token(keys, w, rng));
+  }
+}
+BENCHMARK(BM_Hve_GenToken);
+
+// --- CP-ABE: enc_A and dec_A as a function of policy size -------------------------
+
+abe::PolicyNode and_policy(int v) {
+  std::vector<abe::PolicyNode> leaves;
+  for (int i = 0; i < v; ++i) {
+    leaves.push_back(abe::PolicyNode::leaf("attr" + std::to_string(i)));
+  }
+  return abe::PolicyNode::threshold(static_cast<unsigned>(v), std::move(leaves));
+}
+
+void BM_Cpabe_Encrypt(benchmark::State& state) {
+  TestRng rng(10);
+  const auto keys = abe::cpabe_setup(pp(), rng);
+  const auto policy = and_policy(static_cast<int>(state.range(0)));
+  const Bytes payload = rng.bytes(1024);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        abe::cpabe_encrypt_bytes(keys.pk, payload, policy, rng));
+  }
+}
+BENCHMARK(BM_Cpabe_Encrypt)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_Cpabe_Decrypt(benchmark::State& state) {
+  TestRng rng(11);
+  const auto keys = abe::cpabe_setup(pp(), rng);
+  const int v = static_cast<int>(state.range(0));
+  const auto policy = and_policy(v);
+  std::set<std::string> attrs;
+  for (int i = 0; i < v; ++i) attrs.insert("attr" + std::to_string(i));
+  const auto sk = abe::cpabe_keygen(keys, attrs, rng);
+  const Bytes ct = abe::cpabe_encrypt_bytes(keys.pk, rng.bytes(1024), policy, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abe::cpabe_decrypt_bytes(keys.pk, sk, ct));
+  }
+}
+BENCHMARK(BM_Cpabe_Decrypt)->Arg(2)->Arg(5)->Arg(10);
+
+void BM_Cpabe_KeyGen(benchmark::State& state) {
+  TestRng rng(12);
+  const auto keys = abe::cpabe_setup(pp(), rng);
+  std::set<std::string> attrs;
+  for (int i = 0; i < 10; ++i) attrs.insert("attr" + std::to_string(i));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abe::cpabe_keygen(keys, attrs, rng));
+  }
+}
+BENCHMARK(BM_Cpabe_KeyGen);
+
+}  // namespace
+
+BENCHMARK_MAIN();

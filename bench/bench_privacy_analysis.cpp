@@ -1,0 +1,98 @@
+// §6.1 / Fig. 5 reproduction: run the gadget analysis for every participant
+// class and print the visibility matrix the paper gives in prose
+// ("Summary of non-3rd / 3rd party participant's visibility").
+#include <cstdio>
+
+#include "gadget/gadget.hpp"
+
+using namespace p3s::gadget;  // NOLINT
+
+namespace {
+
+void report(const Gadget& g, const char* participant, const Knowledge& k,
+            std::initializer_list<const char*> targets) {
+  std::printf("%-28s", participant);
+  for (const char* t : targets) {
+    std::printf(" %10s", g.derivable(k.nodes(), t) ? "DERIVES" : "-");
+  }
+  const auto exposed = g.exposed_sensitive(k.nodes());
+  std::printf("   exposed:{");
+  for (std::size_t i = 0; i < exposed.size(); ++i) {
+    std::printf("%s%s", i ? "," : "", exposed[i].c_str());
+  }
+  std::printf("}\n");
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== PBE gadget (paper Fig. 5) — derivation analysis ===\n\n");
+  const Gadget pbe = make_pbe_gadget();
+  std::printf("%-28s %10s %10s %10s %10s\n", "participant (knowledge)", "m",
+              "x", "y", "a_sid_y");
+  std::printf("%-28s %10s %10s %10s %10s\n", "-----------------------", "-",
+              "-", "-", "-------");
+
+  Knowledge hbc_sub;
+  hbc_sub.sees_all(pbe, {"pk_pbe", "ct_pbe", "t_y", "y"});
+  report(pbe, "HBC subscriber (own token)", hbc_sub, {"m", "x", "a_sid_y"});
+
+  Knowledge hbc_nonmatch;
+  hbc_nonmatch.sees_all(pbe, {"pk_pbe", "ct_pbe"});
+  report(pbe, "HBC subscriber (no token)", hbc_nonmatch, {"m", "x", "a_sid_y"});
+
+  Knowledge ds;
+  ds.sees_all(pbe, {"ct_pbe", "pk_pbe"});
+  report(pbe, "HBC DS", ds, {"m", "x", "y"});
+
+  Knowledge ts;
+  ts.sees_all(pbe, {"y", "sk_pbe", "pk_pbe"});
+  report(pbe, "HBC PBE-TS (with anon)", ts, {"m", "x", "a_sid_y"});
+
+  Knowledge ts_noanon = ts;
+  ts_noanon.sees(pbe, "sid");
+  report(pbe, "PBE-TS without anonymizer", ts_noanon, {"m", "x", "a_sid_y"});
+
+  Knowledge malicious;
+  malicious.sees_all(pbe, {"t_y", "pk_pbe", "X", "ct_pbe"});
+  report(pbe, "malicious (stolen token)", malicious, {"m", "x", "y"});
+
+  Knowledge hoarder;
+  hoarder.sees_all(pbe, {"ct_pbe", "T_Y", "Y"});
+  report(pbe, "token hoarder", hoarder, {"m", "x", "y"});
+
+  std::printf("\nPaper's threats reproduced:\n");
+  std::printf("  [%s] token probing reveals subscriber interest y (orange edges)\n",
+              pbe.derivable(malicious.nodes(), "y") ? "ok" : "FAIL");
+  std::printf("  [%s] exhaustive token set reveals metadata x\n",
+              pbe.derivable(hoarder.nodes(), "x") ? "ok" : "FAIL");
+  std::printf("  [%s] HBC DS derives nothing sensitive\n",
+              pbe.exposed_sensitive(ds.nodes()).empty() ? "ok" : "FAIL");
+  std::printf("  [%s] anonymizer blocks predicate-to-identity binding at PBE-TS\n",
+              !pbe.derivable(ts.nodes(), "a_sid_y") &&
+                      pbe.derivable(ts_noanon.nodes(), "a_sid_y")
+                  ? "ok"
+                  : "FAIL");
+
+  std::printf("\n=== CP-ABE gadget ===\n\n");
+  const Gadget cg = make_cpabe_gadget();
+  std::printf("%-28s %10s %10s\n", "participant", "m_A", "policy");
+  Knowledge rs;
+  rs.sees_all(cg, {"ct_abe", "pk_abe"});
+  report(cg, "HBC RS", rs, {"m_A", "policy"});
+  Knowledge authorized;
+  authorized.sees_all(cg, {"ct_abe", "sk_S", "S_satisfies_policy"});
+  report(cg, "authorized subscriber", authorized, {"m_A", "policy"});
+  Knowledge unauthorized;
+  unauthorized.sees_all(cg, {"ct_abe", "sk_S"});
+  report(cg, "unauthorized subscriber", unauthorized, {"m_A", "policy"});
+
+  std::printf("\n  [%s] CP-ABE policy is public, payload only with satisfying key\n",
+              cg.derivable(rs.nodes(), "policy") &&
+                      !cg.derivable(rs.nodes(), "m_A") &&
+                      cg.derivable(authorized.nodes(), "m_A") &&
+                      !cg.derivable(unauthorized.nodes(), "m_A")
+                  ? "ok"
+                  : "FAIL");
+  return 0;
+}

@@ -1,0 +1,45 @@
+// Workload sensitivity (extends the paper's fixed f = 5%/50% points):
+// generate skewed subscriber populations, measure the REALIZED match rate f,
+// and feed it through the §6.2 models — showing where realistic workloads
+// land between the paper's two operating points.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "common/rng.hpp"
+#include "model/analytic.hpp"
+#include "model/workload.hpp"
+
+using namespace p3s;  // NOLINT
+
+int main() {
+  TestRng rng(0x301c);
+  const auto schema = pbe::MetadataSchema::uniform(13, 8);  // paper's 40-bit
+
+  std::printf("=== Workload-driven match rates -> model throughput (64KB payloads) ===\n\n");
+  std::printf("%8s %10s | %10s | %12s %12s %10s\n", "zipf s", "wildcard%",
+              "realized f", "base(pub/s)", "p3s(pub/s)", "p3s/base");
+
+  for (const double zipf : {0.0, 0.8, 1.2}) {
+    for (const double wc : {0.3, 0.6, 0.9}) {
+      model::WorkloadConfig config;
+      config.zipf_s = zipf;
+      config.wildcard_prob = wc;
+      const model::WorkloadGenerator gen(schema, config);
+      const double f = gen.estimate_match_rate(rng, 100, 60);
+
+      model::ModelParams p = model::ModelParams::paper_defaults();
+      p.match_fraction = std::max(f, 1e-4);
+      const double c = 64.0 * 1024;
+      const double base = model::baseline_throughput(p, c).total();
+      const double p3s = model::p3s_throughput(p, c).total();
+      std::printf("%8.1f %9.0f%% | %9.4f%% | %12.3f %12.3f %9.3fx\n", zipf,
+                  wc * 100, f * 100, base, p3s, p3s / base);
+    }
+  }
+  std::printf(
+      "\n-> the paper's f=5%% and f=50%% bracket realistic workloads: broad\n"
+      "   (wildcard-heavy) interests push f up and P3S toward parity; narrow\n"
+      "   interests recreate the small-f regime where the baseline's\n"
+      "   selective dissemination wins.\n");
+  return 0;
+}

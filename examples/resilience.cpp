@@ -1,0 +1,73 @@
+// Resilience walkthrough (paper §6.1): "The basic P3S operation is robust
+// to node failures as well... A crashed component can resume
+// publish-subscribe activities after restart without requiring
+// re-encryption of any published content."
+//
+// Crashes every component in turn — RS (with disk persistence), DS (clients
+// re-register), subscriber (re-obtains tokens) — and shows the flow
+// resuming each time.
+#include <cstdio>
+
+#include "abe/policy.hpp"
+#include "crypto/drbg.hpp"
+#include "net/network.hpp"
+#include "p3s/system.hpp"
+
+using namespace p3s;  // NOLINT
+
+int main() {
+  crypto::Drbg rng(str_to_bytes("resilience"));
+  net::DirectNetwork network;
+  core::P3sConfig config;
+  config.pairing = pairing::Pairing::test_pairing();
+  config.schema = pbe::MetadataSchema({
+      {"feed", {"alerts", "digest"}},
+      {"severity", {"info", "warn", "crit"}},
+  });
+  core::P3sSystem p3s(network, config, rng);
+
+  auto sub = p3s.make_subscriber("ops-console", "ops", {"oncall"}, rng);
+  auto pub = p3s.make_publisher("monitor", "monitor", rng);
+  sub->subscribe({{"feed", "alerts"}});
+
+  auto publish = [&](const char* severity, const char* text) {
+    pub->publish({{"feed", "alerts"}, {"severity", severity}},
+                 str_to_bytes(text), abe::parse_policy("oncall"), 1e6);
+  };
+
+  publish("warn", "disk 80% on db-3");
+  std::printf("baseline: %zu alert(s) delivered\n", sub->deliveries().size());
+
+  // --- 1. RS crash with disk persistence -----------------------------------
+  const std::string store = "/tmp/p3s-resilience-store.bin";
+  p3s.rs().save_to_file(store);
+  p3s.rs().restore(Bytes{0, 0, 0, 0});  // crash wipes memory
+  std::printf("\nRS crashed (in-memory store wiped: %zu items)...\n",
+              p3s.rs().stored_items());
+  p3s.rs().load_from_file(store);
+  std::printf("RS restarted from disk: %zu item(s) back, no re-encryption.\n",
+              p3s.rs().stored_items());
+  publish("crit", "db-3 read-only");
+  std::printf("alerts delivered so far: %zu\n", sub->deliveries().size());
+
+  // --- 2. DS crash: clients must re-register --------------------------------
+  p3s.ds().crash_and_restart();
+  std::printf("\nDS crashed and restarted (sessions + registrations lost).\n");
+  sub->reconnect();
+  pub->connect();
+  std::printf("clients re-registered; publishing again...\n");
+  publish("warn", "failover completed");
+  std::printf("alerts delivered so far: %zu\n", sub->deliveries().size());
+
+  // --- 3. subscriber restart: tokens re-obtained ------------------------------
+  std::printf("\nsubscriber restarted: re-registers with DS and re-obtains\n"
+              "its PBE tokens from the PBE-TS (paper §6.1)...\n");
+  sub->reconnect();
+  sub->refresh_tokens();
+  publish("info", "all clear");
+  std::printf("alerts delivered in total: %zu\n", sub->deliveries().size());
+
+  std::printf("\nEvery delivery used the ORIGINAL ciphertexts: restart never\n"
+              "required re-encrypting stored content or re-keying the system.\n");
+  return 0;
+}

@@ -1,0 +1,294 @@
+#include "abe/cpabe.hpp"
+
+#include <stdexcept>
+
+#include "abe/shamir.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "math/modular.hpp"
+
+namespace p3s::abe {
+
+using math::BigInt;
+using math::mod;
+using math::mod_inv;
+using math::mod_mul;
+
+namespace {
+Point hash_attribute(const pairing::Pairing& p, const std::string& attr) {
+  return p.hash_to_g1(concat(str_to_bytes("cpabe-attr:"), str_to_bytes(attr)));
+}
+}  // namespace
+
+// --- Serialization -------------------------------------------------------------
+
+Bytes CpabePublicKey::serialize() const {
+  Writer w;
+  w.bytes(pairing->serialize_g1(g));
+  w.bytes(pairing->serialize_g1(h));
+  w.bytes(pairing->serialize_g1(f));
+  w.bytes(pairing->serialize_gt(e_gg_alpha));
+  return w.take();
+}
+
+CpabePublicKey CpabePublicKey::deserialize(PairingPtr pairing, BytesView data) {
+  Reader r(data);
+  CpabePublicKey pk;
+  pk.g = pairing->deserialize_g1(r.bytes());
+  pk.h = pairing->deserialize_g1(r.bytes());
+  pk.f = pairing->deserialize_g1(r.bytes());
+  pk.e_gg_alpha = pairing->deserialize_gt(r.bytes());
+  r.expect_done();
+  pk.pairing = std::move(pairing);
+  return pk;
+}
+
+std::set<std::string> CpabeSecretKey::attributes() const {
+  std::set<std::string> out;
+  for (const auto& [attr, comp] : components) out.insert(attr);
+  return out;
+}
+
+Bytes CpabeSecretKey::serialize(const pairing::Pairing& pairing) const {
+  Writer w;
+  w.bytes(pairing.serialize_g1(d));
+  w.u32(static_cast<std::uint32_t>(components.size()));
+  for (const auto& [attr, comp] : components) {
+    w.str(attr);
+    w.bytes(pairing.serialize_g1(comp.d));
+    w.bytes(pairing.serialize_g1(comp.d_prime));
+  }
+  return w.take();
+}
+
+CpabeSecretKey CpabeSecretKey::deserialize(const pairing::Pairing& pairing,
+                                           BytesView data) {
+  Reader r(data);
+  CpabeSecretKey sk;
+  sk.d = pairing.deserialize_g1(r.bytes());
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const std::string attr = r.str();
+    CpabeKeyComponent comp;
+    comp.d = pairing.deserialize_g1(r.bytes());
+    comp.d_prime = pairing.deserialize_g1(r.bytes());
+    sk.components.emplace(attr, std::move(comp));
+  }
+  r.expect_done();
+  return sk;
+}
+
+Bytes CpabeCiphertext::serialize(const pairing::Pairing& pairing) const {
+  Writer w;
+  w.bytes(policy.serialize());
+  w.bytes(pairing.serialize_gt(c_tilde));
+  w.bytes(pairing.serialize_g1(c));
+  w.u32(static_cast<std::uint32_t>(leaves.size()));
+  for (const Leaf& leaf : leaves) {
+    w.str(leaf.attribute);
+    w.bytes(pairing.serialize_g1(leaf.cy));
+    w.bytes(pairing.serialize_g1(leaf.cy_prime));
+  }
+  return w.take();
+}
+
+CpabeCiphertext CpabeCiphertext::deserialize(const pairing::Pairing& pairing,
+                                             BytesView data) {
+  Reader r(data);
+  CpabeCiphertext ct{PolicyNode::deserialize(r.bytes()), {}, {}, {}};
+  ct.c_tilde = pairing.deserialize_gt(r.bytes());
+  ct.c = pairing.deserialize_g1(r.bytes());
+  const std::uint32_t n = r.u32();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    Leaf leaf;
+    leaf.attribute = r.str();
+    leaf.cy = pairing.deserialize_g1(r.bytes());
+    leaf.cy_prime = pairing.deserialize_g1(r.bytes());
+    ct.leaves.push_back(std::move(leaf));
+  }
+  r.expect_done();
+  if (ct.leaves.size() != ct.policy.leaf_count()) {
+    throw std::invalid_argument("CpabeCiphertext: leaf count mismatch");
+  }
+  return ct;
+}
+
+// --- Core scheme ----------------------------------------------------------------
+
+CpabeKeys cpabe_setup(PairingPtr pairing, Rng& rng) {
+  const pairing::Pairing& p = *pairing;
+  const BigInt alpha = p.random_nonzero_scalar(rng);
+  const BigInt beta = p.random_nonzero_scalar(rng);
+
+  CpabeKeys keys;
+  keys.pk.pairing = pairing;
+  keys.pk.g = p.generator();
+  keys.pk.h = p.mul(p.generator(), beta);
+  keys.pk.f = p.mul(p.generator(), mod_inv(beta, p.r()));
+  keys.pk.e_gg_alpha = p.gt_pow(p.gt_generator(), alpha);
+  keys.mk.beta = beta;
+  keys.mk.g_alpha = p.mul(p.generator(), alpha);
+  return keys;
+}
+
+CpabeSecretKey cpabe_keygen(const CpabeKeys& keys,
+                            const std::set<std::string>& attributes, Rng& rng) {
+  if (attributes.empty()) {
+    throw std::invalid_argument("cpabe_keygen: empty attribute set");
+  }
+  const pairing::Pairing& p = *keys.pk.pairing;
+  const BigInt r = p.random_nonzero_scalar(rng);
+  const Point g_r = p.mul(p.generator(), r);
+
+  CpabeSecretKey sk;
+  // D = (g^α · g^r)^{1/β} = g^{(α+r)/β}
+  sk.d = p.mul(p.add(keys.mk.g_alpha, g_r), mod_inv(keys.mk.beta, p.r()));
+  for (const std::string& attr : attributes) {
+    const BigInt rj = p.random_nonzero_scalar(rng);
+    CpabeKeyComponent comp;
+    comp.d = p.add(g_r, p.mul(hash_attribute(p, attr), rj));
+    comp.d_prime = p.mul(p.generator(), rj);
+    sk.components.emplace(attr, std::move(comp));
+  }
+  return sk;
+}
+
+namespace {
+// DFS share distribution: node's own share is `share`; leaves append to out.
+void share_tree(const pairing::Pairing& p, const PolicyNode& node,
+                const BigInt& share, Rng& rng,
+                std::vector<std::pair<std::string, BigInt>>& out) {
+  if (node.is_leaf()) {
+    out.emplace_back(node.attribute(), share);
+    return;
+  }
+  const SharePolynomial poly(share, node.k() - 1, p.r(), rng);
+  for (std::size_t i = 0; i < node.children().size(); ++i) {
+    share_tree(p, node.children()[i], poly.eval(i + 1), rng, out);
+  }
+}
+
+// DFS decrypt. `leaf_index` walks the ciphertext leaf array in the same
+// order encryption emitted it. Returns e(g,g)^{r·q_node(0)} when this node
+// is satisfied.
+std::optional<Fq2> decrypt_node(const pairing::Pairing& p,
+                                const CpabeSecretKey& sk,
+                                const CpabeCiphertext& ct,
+                                const PolicyNode& node,
+                                std::size_t& leaf_index) {
+  if (node.is_leaf()) {
+    const CpabeCiphertext::Leaf& leaf = ct.leaves.at(leaf_index++);
+    const auto it = sk.components.find(leaf.attribute);
+    if (it == sk.components.end()) return std::nullopt;
+    // e(D_j, C_y) / e(D'_j, C'_y) = e(g,g)^{r·q_y(0)}
+    const Fq2 num = p.pair(it->second.d, leaf.cy);
+    const Fq2 den = p.pair(it->second.d_prime, leaf.cy_prime);
+    return p.gt_mul(num, p.gt_inv(den));
+  }
+
+  // Gather satisfied children (child index is 1-based for Lagrange).
+  std::vector<std::uint64_t> indices;
+  std::vector<Fq2> values;
+  for (std::size_t i = 0; i < node.children().size(); ++i) {
+    const auto sub = decrypt_node(p, sk, ct, node.children()[i], leaf_index);
+    if (sub.has_value() && indices.size() < node.k()) {
+      indices.push_back(i + 1);
+      values.push_back(*sub);
+    }
+  }
+  if (indices.size() < node.k()) return std::nullopt;
+  Fq2 acc = p.gt_one();
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const BigInt coeff = lagrange_at_zero(indices, indices[j], p.r());
+    acc = p.gt_mul(acc, p.gt_pow(values[j], coeff));
+  }
+  return acc;
+}
+}  // namespace
+
+CpabeCiphertext cpabe_encrypt(const CpabePublicKey& pk, const Fq2& message,
+                              const PolicyNode& policy, Rng& rng) {
+  const pairing::Pairing& p = *pk.pairing;
+  const BigInt s = p.random_nonzero_scalar(rng);
+
+  CpabeCiphertext ct{policy, {}, {}, {}};
+  ct.c_tilde = p.gt_mul(message, p.gt_pow(pk.e_gg_alpha, s));
+  ct.c = p.mul(pk.h, s);
+
+  std::vector<std::pair<std::string, BigInt>> shares;
+  share_tree(p, policy, s, rng, shares);
+  ct.leaves.reserve(shares.size());
+  for (const auto& [attr, share] : shares) {
+    CpabeCiphertext::Leaf leaf;
+    leaf.attribute = attr;
+    leaf.cy = p.mul(p.generator(), share);
+    leaf.cy_prime = p.mul(hash_attribute(p, attr), share);
+    ct.leaves.push_back(std::move(leaf));
+  }
+  return ct;
+}
+
+std::optional<Fq2> cpabe_decrypt(const CpabePublicKey& pk,
+                                 const CpabeSecretKey& sk,
+                                 const CpabeCiphertext& ct) {
+  const pairing::Pairing& p = *pk.pairing;
+  if (ct.leaves.size() != ct.policy.leaf_count()) return std::nullopt;
+  if (!ct.policy.satisfied_by(sk.attributes())) return std::nullopt;
+
+  std::size_t leaf_index = 0;
+  const auto a = decrypt_node(p, sk, ct, ct.policy, leaf_index);
+  if (!a.has_value()) return std::nullopt;
+  // M = C̃ · A / e(C, D);  e(C,D) = e(g,g)^{s(α+r)}, A = e(g,g)^{rs}.
+  const Fq2 e_cd = p.pair(ct.c, sk.d);
+  return p.gt_mul(ct.c_tilde, p.gt_mul(*a, p.gt_inv(e_cd)));
+}
+
+// --- Hybrid layer -----------------------------------------------------------------
+
+namespace {
+Bytes kem_key(const pairing::Pairing& p, const Fq2& z) {
+  return crypto::hkdf(str_to_bytes("p3s-cpabe-kem-v1"), p.serialize_gt(z), {},
+                      32);
+}
+}  // namespace
+
+Bytes cpabe_encrypt_bytes(const CpabePublicKey& pk, BytesView payload,
+                          const PolicyNode& policy, Rng& rng) {
+  const pairing::Pairing& p = *pk.pairing;
+  const Fq2 z = p.random_gt(rng);
+  const CpabeCiphertext kem = cpabe_encrypt(pk, z, policy, rng);
+  const crypto::AeadCiphertext dem =
+      crypto::aead_encrypt(kem_key(p, z), payload, str_to_bytes("cpabe"), rng);
+  Writer w;
+  w.bytes(kem.serialize(p));
+  w.bytes(dem.serialize());
+  return w.take();
+}
+
+std::optional<Bytes> cpabe_decrypt_bytes(const CpabePublicKey& pk,
+                                         const CpabeSecretKey& sk,
+                                         BytesView ciphertext) {
+  try {
+    const pairing::Pairing& p = *pk.pairing;
+    Reader r(ciphertext);
+    const CpabeCiphertext kem = CpabeCiphertext::deserialize(p, r.bytes());
+    const crypto::AeadCiphertext dem =
+        crypto::AeadCiphertext::deserialize(r.bytes());
+    r.expect_done();
+    const auto z = cpabe_decrypt(pk, sk, kem);
+    if (!z.has_value()) return std::nullopt;
+    return crypto::aead_decrypt(kem_key(p, *z), dem, str_to_bytes("cpabe"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+PolicyNode cpabe_peek_policy(const pairing::Pairing& pairing,
+                             BytesView ciphertext) {
+  Reader r(ciphertext);
+  const CpabeCiphertext kem = CpabeCiphertext::deserialize(pairing, r.bytes());
+  return kem.policy;
+}
+
+}  // namespace p3s::abe

@@ -1,0 +1,261 @@
+#include "abe/policy.hpp"
+
+#include <cctype>
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+namespace p3s::abe {
+
+PolicyNode PolicyNode::leaf(std::string attribute) {
+  if (attribute.empty()) {
+    throw std::invalid_argument("PolicyNode::leaf: empty attribute");
+  }
+  PolicyNode n;
+  n.attribute_ = std::move(attribute);
+  return n;
+}
+
+PolicyNode PolicyNode::threshold(unsigned k, std::vector<PolicyNode> children) {
+  if (children.empty()) {
+    throw std::invalid_argument("PolicyNode::threshold: no children");
+  }
+  if (k < 1 || k > children.size()) {
+    throw std::invalid_argument("PolicyNode::threshold: k out of range");
+  }
+  PolicyNode n;
+  n.k_ = k;
+  n.children_ = std::move(children);
+  return n;
+}
+
+bool PolicyNode::satisfied_by(const std::set<std::string>& attributes) const {
+  if (is_leaf()) return attributes.contains(attribute_);
+  unsigned satisfied = 0;
+  for (const PolicyNode& c : children_) {
+    if (c.satisfied_by(attributes) && ++satisfied >= k_) return true;
+  }
+  return false;
+}
+
+std::size_t PolicyNode::leaf_count() const {
+  if (is_leaf()) return 1;
+  std::size_t n = 0;
+  for (const PolicyNode& c : children_) n += c.leaf_count();
+  return n;
+}
+
+std::set<std::string> PolicyNode::attribute_set() const {
+  std::set<std::string> out;
+  if (is_leaf()) {
+    out.insert(attribute_);
+    return out;
+  }
+  for (const PolicyNode& c : children_) {
+    auto sub = c.attribute_set();
+    out.insert(sub.begin(), sub.end());
+  }
+  return out;
+}
+
+std::string PolicyNode::to_string() const {
+  if (is_leaf()) return attribute_;
+  std::string sep;
+  if (k_ == 1) {
+    sep = " or ";
+  } else if (k_ == children_.size()) {
+    sep = " and ";
+  } else {
+    std::string out = std::to_string(k_) + " of (";
+    for (std::size_t i = 0; i < children_.size(); ++i) {
+      if (i) out += ", ";
+      out += children_[i].to_string();
+    }
+    return out + ")";
+  }
+  std::string out = "(";
+  for (std::size_t i = 0; i < children_.size(); ++i) {
+    if (i) out += sep;
+    out += children_[i].to_string();
+  }
+  return out + ")";
+}
+
+Bytes PolicyNode::serialize() const {
+  Writer w;
+  if (is_leaf()) {
+    w.u8(0);
+    w.str(attribute_);
+  } else {
+    w.u8(1);
+    w.u32(k_);
+    w.u32(static_cast<std::uint32_t>(children_.size()));
+    for (const PolicyNode& c : children_) w.bytes(c.serialize());
+  }
+  return w.take();
+}
+
+namespace {
+PolicyNode deserialize_node(Reader& r) {
+  const std::uint8_t tag = r.u8();
+  if (tag == 0) {
+    return PolicyNode::leaf(r.str());
+  }
+  if (tag != 1) throw std::invalid_argument("PolicyNode: bad tag");
+  const std::uint32_t k = r.u32();
+  const std::uint32_t n = r.u32();
+  if (n > 4096) throw std::invalid_argument("PolicyNode: too many children");
+  std::vector<PolicyNode> children;
+  children.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Bytes sub = r.bytes();
+    Reader rs(sub);
+    children.push_back(deserialize_node(rs));
+    rs.expect_done();
+  }
+  return PolicyNode::threshold(k, std::move(children));
+}
+}  // namespace
+
+PolicyNode PolicyNode::deserialize(BytesView data) {
+  Reader r(data);
+  PolicyNode n = deserialize_node(r);
+  r.expect_done();
+  return n;
+}
+
+// --- Parser ------------------------------------------------------------------
+
+namespace {
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  PolicyNode parse() {
+    PolicyNode n = or_expr();
+    skip_ws();
+    if (pos_ != text_.size()) fail("unexpected trailing input");
+    return n;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& why) const {
+    throw std::invalid_argument("policy parse error at offset " +
+                                std::to_string(pos_) + ": " + why);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool at_end() {
+    skip_ws();
+    return pos_ == text_.size();
+  }
+
+  bool peek_char(char c) {
+    skip_ws();
+    return pos_ < text_.size() && text_[pos_] == c;
+  }
+
+  void expect_char(char c) {
+    if (!peek_char(c)) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  static bool word_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+           c == '.' || c == '-';
+  }
+
+  std::string peek_word() {
+    skip_ws();
+    std::size_t end = pos_;
+    while (end < text_.size() && word_char(text_[end])) ++end;
+    return std::string(text_.substr(pos_, end - pos_));
+  }
+
+  bool consume_keyword(std::string_view kw) {
+    if (peek_word() == kw) {
+      pos_ += kw.size();
+      return true;
+    }
+    return false;
+  }
+
+  PolicyNode or_expr() {
+    std::vector<PolicyNode> terms;
+    terms.push_back(and_expr());
+    while (!at_end() && consume_keyword("or")) terms.push_back(and_expr());
+    if (terms.size() == 1) return std::move(terms[0]);
+    return PolicyNode::threshold(1, std::move(terms));
+  }
+
+  PolicyNode and_expr() {
+    std::vector<PolicyNode> factors;
+    factors.push_back(factor());
+    while (!at_end() && consume_keyword("and")) factors.push_back(factor());
+    if (factors.size() == 1) return std::move(factors[0]);
+    const unsigned k = static_cast<unsigned>(factors.size());
+    return PolicyNode::threshold(k, std::move(factors));
+  }
+
+  PolicyNode factor() {
+    skip_ws();
+    if (peek_char('(')) {
+      ++pos_;
+      PolicyNode n = or_expr();
+      expect_char(')');
+      return n;
+    }
+    const std::string word = peek_word();
+    if (word.empty()) fail("expected attribute, '(' or threshold");
+    // "<int> of (...)"?
+    bool all_digits = !word.empty();
+    for (char c : word) {
+      if (!std::isdigit(static_cast<unsigned char>(c))) {
+        all_digits = false;
+        break;
+      }
+    }
+    if (all_digits) {
+      const std::size_t save = pos_;
+      pos_ += word.size();
+      if (consume_keyword("of")) {
+        expect_char('(');
+        std::vector<PolicyNode> children;
+        children.push_back(or_expr());
+        while (peek_char(',')) {
+          ++pos_;
+          children.push_back(or_expr());
+        }
+        expect_char(')');
+        unsigned long k = 0;
+        try {
+          k = std::stoul(word);
+        } catch (const std::exception&) {
+          fail("threshold out of range");
+        }
+        if (k < 1 || k > children.size()) fail("threshold k out of range");
+        return PolicyNode::threshold(static_cast<unsigned>(k),
+                                     std::move(children));
+      }
+      pos_ = save;  // a purely numeric attribute name
+    }
+    if (word == "or" || word == "and" || word == "of") {
+      fail("reserved word used as attribute");
+    }
+    pos_ += word.size();
+    return PolicyNode::leaf(word);
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+};
+}  // namespace
+
+PolicyNode parse_policy(std::string_view text) { return Parser(text).parse(); }
+
+}  // namespace p3s::abe

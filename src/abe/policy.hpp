@@ -1,0 +1,69 @@
+// Access-policy trees for CP-ABE (Bethencourt–Sahai–Waters). Interior nodes
+// are k-of-n threshold gates; AND is n-of-n, OR is 1-of-n. The textual
+// language accepted by parse_policy:
+//
+//   policy := or_expr
+//   or_expr := and_expr ("or" and_expr)*
+//   and_expr := factor ("and" factor)*
+//   factor := ATTRIBUTE | "(" policy ")" | INT "of" "(" policy ("," policy)+ ")"
+//
+// e.g.  "analyst and (org:us or org:uk)"  or  "2 of (a, b, c)".
+//
+// Note: per the paper (§3.2), CP-ABE policies are transmitted in the clear;
+// NOT is unsupported (negative attributes must be modeled as distinct
+// attributes, doubling the space).
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace p3s::abe {
+
+class PolicyNode {
+ public:
+  /// Leaf carrying an attribute.
+  static PolicyNode leaf(std::string attribute);
+  /// Threshold gate: satisfied when >= k children are satisfied.
+  /// Requires 1 <= k <= children.size() and children nonempty.
+  static PolicyNode threshold(unsigned k, std::vector<PolicyNode> children);
+
+  bool is_leaf() const { return children_.empty(); }
+  const std::string& attribute() const { return attribute_; }
+  unsigned k() const { return k_; }
+  const std::vector<PolicyNode>& children() const { return children_; }
+
+  /// Clear-text satisfaction check (the policy is public).
+  bool satisfied_by(const std::set<std::string>& attributes) const;
+
+  /// Total number of leaves (== number of ciphertext components).
+  std::size_t leaf_count() const;
+
+  /// All distinct attributes mentioned.
+  std::set<std::string> attribute_set() const;
+
+  /// Canonical textual form (re-parsable).
+  std::string to_string() const;
+
+  Bytes serialize() const;
+  static PolicyNode deserialize(BytesView data);
+
+  bool operator==(const PolicyNode&) const = default;
+
+ private:
+  PolicyNode() = default;
+
+  std::string attribute_;             // leaf only
+  unsigned k_ = 0;                    // gate only
+  std::vector<PolicyNode> children_;  // empty for leaf
+};
+
+/// Parse the policy language; throws std::invalid_argument with a useful
+/// message on syntax errors.
+PolicyNode parse_policy(std::string_view text);
+
+}  // namespace p3s::abe

@@ -1,0 +1,54 @@
+#include "abe/shamir.hpp"
+
+#include <stdexcept>
+
+#include "math/modular.hpp"
+
+namespace p3s::abe {
+
+using math::mod;
+using math::mod_add;
+using math::mod_inv;
+using math::mod_mul;
+using math::mod_sub;
+
+SharePolynomial::SharePolynomial(const BigInt& constant, unsigned degree,
+                                 const BigInt& r, Rng& rng)
+    : r_(r) {
+  coeffs_.reserve(degree + 1);
+  coeffs_.push_back(mod(constant, r));
+  for (unsigned i = 0; i < degree; ++i) {
+    coeffs_.push_back(BigInt::random_below(rng, r));
+  }
+}
+
+BigInt SharePolynomial::eval(std::uint64_t x) const {
+  const BigInt bx{x};
+  BigInt acc{};
+  for (std::size_t i = coeffs_.size(); i-- > 0;) {
+    acc = mod_add(mod_mul(acc, bx, r_), coeffs_[i], r_);
+  }
+  return acc;
+}
+
+BigInt lagrange_at_zero(const std::vector<std::uint64_t>& subset,
+                        std::uint64_t i, const BigInt& r) {
+  bool member = false;
+  BigInt num{1}, den{1};
+  const BigInt bi{i};
+  for (std::uint64_t j : subset) {
+    if (j == i) {
+      member = true;
+      continue;
+    }
+    const BigInt bj{j};
+    num = mod_mul(num, mod_sub(BigInt{}, bj, r), r);  // (0 - j)
+    den = mod_mul(den, mod_sub(bi, bj, r), r);        // (i - j)
+  }
+  if (!member) {
+    throw std::invalid_argument("lagrange_at_zero: i not in subset");
+  }
+  return mod_mul(num, mod_inv(den, r), r);
+}
+
+}  // namespace p3s::abe

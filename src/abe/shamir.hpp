@@ -1,0 +1,36 @@
+// Polynomial secret sharing over Z_r used by the CP-ABE policy tree: each
+// threshold gate hides its share in a random degree-(k-1) polynomial and
+// hands evaluations to its children; decryption interpolates at 0 with
+// Lagrange coefficients.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "math/bigint.hpp"
+
+namespace p3s::abe {
+
+using math::BigInt;
+
+/// Random polynomial of degree `degree` over Z_r with p(0) == constant.
+class SharePolynomial {
+ public:
+  SharePolynomial(const BigInt& constant, unsigned degree, const BigInt& r,
+                  Rng& rng);
+
+  /// Evaluate at x (Horner, mod r).
+  BigInt eval(std::uint64_t x) const;
+
+ private:
+  std::vector<BigInt> coeffs_;  // coeffs_[0] == constant
+  BigInt r_;
+};
+
+/// Lagrange basis coefficient Δ_{i,S}(0) = Π_{j∈S, j≠i} (0-j)/(i-j) mod r.
+/// `subset` holds the 1-based child indices used in reconstruction; `i`
+/// must be a member. Throws std::invalid_argument otherwise.
+BigInt lagrange_at_zero(const std::vector<std::uint64_t>& subset,
+                        std::uint64_t i, const BigInt& r);
+
+}  // namespace p3s::abe

@@ -1,0 +1,40 @@
+// Byte-buffer utilities shared across all P3S modules.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p3s {
+
+/// The canonical octet-string type used by every serialization and crypto API.
+using Bytes = std::vector<std::uint8_t>;
+
+/// View over immutable bytes; cheap to pass by value.
+using BytesView = std::span<const std::uint8_t>;
+
+/// Encode `data` as lowercase hex.
+std::string to_hex(BytesView data);
+
+/// Decode a hex string (upper or lower case). Throws std::invalid_argument on
+/// malformed input (odd length or non-hex character).
+Bytes from_hex(std::string_view hex);
+
+/// Copy a UTF-8/ASCII string into a byte buffer.
+Bytes str_to_bytes(std::string_view s);
+
+/// Interpret bytes as a string (no validation; used for test fixtures).
+std::string bytes_to_str(BytesView data);
+
+/// Concatenate buffers.
+Bytes concat(BytesView a, BytesView b);
+
+/// Constant-time equality check (length leak only), for MAC/tag comparison.
+bool ct_equal(BytesView a, BytesView b);
+
+/// XOR b into a (sizes must match). Throws std::invalid_argument otherwise.
+void xor_inplace(Bytes& a, BytesView b);
+
+}  // namespace p3s

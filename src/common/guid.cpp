@@ -1,0 +1,36 @@
+#include "common/guid.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p3s {
+
+Guid Guid::random(Rng& rng) {
+  Guid g;
+  rng.fill(g.bytes_);
+  return g;
+}
+
+Guid Guid::from_bytes(BytesView data) {
+  if (data.size() != kSize) {
+    throw std::invalid_argument("Guid::from_bytes: need exactly 16 bytes");
+  }
+  Guid g;
+  std::copy(data.begin(), data.end(), g.bytes_.begin());
+  return g;
+}
+
+Guid Guid::from_hex(std::string_view hex) { return from_bytes(p3s::from_hex(hex)); }
+
+Bytes Guid::to_bytes() const { return Bytes(bytes_.begin(), bytes_.end()); }
+
+std::string Guid::to_hex() const {
+  return p3s::to_hex(BytesView(bytes_.data(), bytes_.size()));
+}
+
+bool Guid::is_null() const {
+  return std::all_of(bytes_.begin(), bytes_.end(),
+                     [](std::uint8_t b) { return b == 0; });
+}
+
+}  // namespace p3s

@@ -1,0 +1,51 @@
+// Globally-unique identifiers for published items. The paper draws GUIDs
+// "from a large space (making it hard to guess)"; we use 128 random bits.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace p3s {
+
+/// 128-bit publication identifier.
+class Guid {
+ public:
+  static constexpr std::size_t kSize = 16;
+
+  Guid() = default;  // all-zero GUID ("null")
+  static Guid random(Rng& rng);
+  static Guid from_bytes(BytesView data);  // throws if size != kSize
+  static Guid from_hex(std::string_view hex);
+
+  Bytes to_bytes() const;
+  std::string to_hex() const;
+  bool is_null() const;
+
+  auto operator<=>(const Guid&) const = default;
+
+  const std::array<std::uint8_t, kSize>& raw() const { return bytes_; }
+
+ private:
+  std::array<std::uint8_t, kSize> bytes_{};
+};
+
+}  // namespace p3s
+
+template <>
+struct std::hash<p3s::Guid> {
+  std::size_t operator()(const p3s::Guid& g) const noexcept {
+    // FNV-1a over the 16 bytes; GUIDs are uniform so this is fine.
+    std::size_t h = 1469598103934665603ull;
+    for (std::uint8_t b : g.raw()) {
+      h ^= b;
+      h *= 1099511628211ull;
+    }
+    return h;
+  }
+};

@@ -1,0 +1,46 @@
+// Minimal leveled logger. Components log protocol events at Debug; the
+// default level (Warn) keeps tests and benches quiet.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace p3s {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level();
+
+namespace detail {
+void log_emit(LogLevel level, const std::string& component,
+              const std::string& message);
+}
+
+/// Stream-style log statement: LOG(kInfo, "RS") << "stored " << guid;
+class LogLine {
+ public:
+  LogLine(LogLevel level, std::string component)
+      : level_(level), component_(std::move(component)) {}
+  ~LogLine() {
+    if (level_ >= log_level()) detail::log_emit(level_, component_, os_.str());
+  }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    if (level_ >= log_level()) os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::string component_;
+  std::ostringstream os_;
+};
+
+inline LogLine log_debug(std::string c) { return LogLine(LogLevel::kDebug, std::move(c)); }
+inline LogLine log_info(std::string c) { return LogLine(LogLevel::kInfo, std::move(c)); }
+inline LogLine log_warn(std::string c) { return LogLine(LogLevel::kWarn, std::move(c)); }
+inline LogLine log_error(std::string c) { return LogLine(LogLevel::kError, std::move(c)); }
+
+}  // namespace p3s

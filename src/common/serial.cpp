@@ -1,0 +1,92 @@
+#include "common/serial.hpp"
+
+#include <stdexcept>
+
+namespace p3s {
+
+void Writer::u8(std::uint8_t v) { buf_.push_back(v); }
+
+void Writer::u16(std::uint16_t v) {
+  buf_.push_back(static_cast<std::uint8_t>(v >> 8));
+  buf_.push_back(static_cast<std::uint8_t>(v));
+}
+
+void Writer::u32(std::uint32_t v) {
+  for (int shift = 24; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::u64(std::uint64_t v) {
+  for (int shift = 56; shift >= 0; shift -= 8) {
+    buf_.push_back(static_cast<std::uint8_t>(v >> shift));
+  }
+}
+
+void Writer::raw(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+}
+
+void Writer::bytes(BytesView data) {
+  if (data.size() > 0xffffffffu) {
+    throw std::length_error("Writer::bytes: buffer too large");
+  }
+  u32(static_cast<std::uint32_t>(data.size()));
+  raw(data);
+}
+
+void Writer::str(std::string_view s) {
+  bytes(BytesView(reinterpret_cast<const std::uint8_t*>(s.data()), s.size()));
+}
+
+void Reader::need(std::size_t n) const {
+  if (remaining() < n) throw std::out_of_range("Reader: truncated input");
+}
+
+std::uint8_t Reader::u8() {
+  need(1);
+  return data_[pos_++];
+}
+
+std::uint16_t Reader::u16() {
+  need(2);
+  std::uint16_t v = static_cast<std::uint16_t>(data_[pos_] << 8 | data_[pos_ + 1]);
+  pos_ += 2;
+  return v;
+}
+
+std::uint32_t Reader::u32() {
+  need(4);
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 4;
+  return v;
+}
+
+std::uint64_t Reader::u64() {
+  need(8);
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | data_[pos_ + i];
+  pos_ += 8;
+  return v;
+}
+
+Bytes Reader::raw(std::size_t n) {
+  need(n);
+  Bytes out(data_.begin() + pos_, data_.begin() + pos_ + n);
+  pos_ += n;
+  return out;
+}
+
+Bytes Reader::bytes() { return raw(u32()); }
+
+std::string Reader::str() {
+  Bytes b = bytes();
+  return std::string(b.begin(), b.end());
+}
+
+void Reader::expect_done() const {
+  if (!done()) throw std::invalid_argument("Reader: trailing bytes");
+}
+
+}  // namespace p3s

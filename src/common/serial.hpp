@@ -1,0 +1,61 @@
+// Deterministic binary serialization used by every P3S protocol frame and
+// crypto object. Fixed-width integers are big-endian; variable-length
+// buffers and strings are length-prefixed with u32.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "common/bytes.hpp"
+
+namespace p3s {
+
+/// Append-only encoder.
+class Writer {
+ public:
+  void u8(std::uint8_t v);
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  /// Raw bytes, no length prefix (caller knows the size).
+  void raw(BytesView data);
+  /// u32 length prefix followed by the bytes.
+  void bytes(BytesView data);
+  /// u32 length prefix followed by the characters.
+  void str(std::string_view s);
+
+  const Bytes& data() const { return buf_; }
+  Bytes take() { return std::move(buf_); }
+
+ private:
+  Bytes buf_;
+};
+
+/// Bounds-checked decoder over a byte view. All methods throw
+/// std::out_of_range on truncated input.
+class Reader {
+ public:
+  explicit Reader(BytesView data) : data_(data) {}
+
+  std::uint8_t u8();
+  std::uint16_t u16();
+  std::uint32_t u32();
+  std::uint64_t u64();
+  Bytes raw(std::size_t n);
+  Bytes bytes();
+  std::string str();
+
+  std::size_t remaining() const { return data_.size() - pos_; }
+  bool done() const { return remaining() == 0; }
+  /// Throws std::invalid_argument unless the whole buffer was consumed.
+  void expect_done() const;
+
+ private:
+  void need(std::size_t n) const;
+
+  BytesView data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace p3s

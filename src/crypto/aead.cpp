@@ -1,0 +1,77 @@
+#include "crypto/aead.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/poly1305.hpp"
+
+namespace p3s::crypto {
+
+namespace {
+Bytes mac_input(BytesView aad, BytesView ct) {
+  Bytes m(aad.begin(), aad.end());
+  m.insert(m.end(), (16 - aad.size() % 16) % 16, 0);
+  m.insert(m.end(), ct.begin(), ct.end());
+  m.insert(m.end(), (16 - ct.size() % 16) % 16, 0);
+  for (std::uint64_t len : {static_cast<std::uint64_t>(aad.size()),
+                            static_cast<std::uint64_t>(ct.size())}) {
+    for (int i = 0; i < 8; ++i) m.push_back(static_cast<std::uint8_t>(len >> (8 * i)));
+  }
+  return m;
+}
+
+Bytes one_time_key(BytesView key, BytesView nonce) {
+  ChaCha20 c(key, nonce, 0);
+  const auto block = c.keystream_block();
+  return Bytes(block.begin(), block.begin() + 32);
+}
+}  // namespace
+
+Bytes AeadCiphertext::serialize() const {
+  Writer w;
+  w.bytes(nonce);
+  w.bytes(body);
+  return w.take();
+}
+
+AeadCiphertext AeadCiphertext::deserialize(BytesView data) {
+  Reader r(data);
+  AeadCiphertext ct;
+  ct.nonce = r.bytes();
+  ct.body = r.bytes();
+  r.expect_done();
+  if (ct.nonce.size() != ChaCha20::kNonceSize) {
+    throw std::invalid_argument("AeadCiphertext: bad nonce size");
+  }
+  if (ct.body.size() < 16) {
+    throw std::invalid_argument("AeadCiphertext: body shorter than tag");
+  }
+  return ct;
+}
+
+AeadCiphertext aead_encrypt(BytesView key, BytesView plaintext, BytesView aad,
+                            Rng& rng) {
+  AeadCiphertext out;
+  out.nonce = rng.bytes(ChaCha20::kNonceSize);
+  out.body = ChaCha20::crypt(key, out.nonce, plaintext, 1);
+  const Bytes otk = one_time_key(key, out.nonce);
+  const Bytes tag = poly1305_tag(otk, mac_input(aad, out.body));
+  out.body.insert(out.body.end(), tag.begin(), tag.end());
+  return out;
+}
+
+std::optional<Bytes> aead_decrypt(BytesView key, const AeadCiphertext& ct,
+                                  BytesView aad) {
+  if (ct.body.size() < 16 || ct.nonce.size() != ChaCha20::kNonceSize) {
+    return std::nullopt;
+  }
+  const BytesView cipher(ct.body.data(), ct.body.size() - 16);
+  const BytesView tag(ct.body.data() + ct.body.size() - 16, 16);
+  const Bytes otk = one_time_key(key, ct.nonce);
+  const Bytes expected = poly1305_tag(otk, mac_input(aad, cipher));
+  if (!ct_equal(expected, tag)) return std::nullopt;
+  return ChaCha20::crypt(key, ct.nonce, cipher, 1);
+}
+
+}  // namespace p3s::crypto

@@ -1,0 +1,31 @@
+// ChaCha20-Poly1305 AEAD (RFC 8439). Every symmetric encryption in P3S —
+// payload super-encryption under Ks, secure-channel records, the hybrid
+// layers of CP-ABE and HVE — goes through this interface.
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace p3s::crypto {
+
+struct AeadCiphertext {
+  Bytes nonce;  // 12 bytes
+  Bytes body;   // ciphertext || 16-byte tag
+
+  Bytes serialize() const;
+  static AeadCiphertext deserialize(BytesView data);
+};
+
+/// Encrypt `plaintext` with additional authenticated data `aad` under the
+/// 32-byte `key`, using a fresh random nonce from `rng`.
+AeadCiphertext aead_encrypt(BytesView key, BytesView plaintext, BytesView aad,
+                            Rng& rng);
+
+/// Decrypt; returns nullopt when the tag check fails (wrong key, wrong aad,
+/// or tampering).
+std::optional<Bytes> aead_decrypt(BytesView key, const AeadCiphertext& ct,
+                                  BytesView aad);
+
+}  // namespace p3s::crypto

@@ -1,0 +1,88 @@
+#include "crypto/chacha20.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace p3s::crypto {
+
+namespace {
+void quarter_round(std::array<std::uint32_t, 16>& s, int a, int b, int c, int d) {
+  s[a] += s[b];
+  s[d] = std::rotl(s[d] ^ s[a], 16);
+  s[c] += s[d];
+  s[b] = std::rotl(s[b] ^ s[c], 12);
+  s[a] += s[b];
+  s[d] = std::rotl(s[d] ^ s[a], 8);
+  s[c] += s[d];
+  s[b] = std::rotl(s[b] ^ s[c], 7);
+}
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) | (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+ChaCha20::ChaCha20(BytesView key, BytesView nonce, std::uint32_t initial_counter) {
+  if (key.size() != kKeySize) throw std::invalid_argument("ChaCha20: bad key size");
+  if (nonce.size() != kNonceSize) {
+    throw std::invalid_argument("ChaCha20: bad nonce size");
+  }
+  state_[0] = 0x61707865;
+  state_[1] = 0x3320646e;
+  state_[2] = 0x79622d32;
+  state_[3] = 0x6b206574;
+  for (int i = 0; i < 8; ++i) state_[4 + i] = le32(key.data() + 4 * i);
+  state_[12] = initial_counter;
+  for (int i = 0; i < 3; ++i) state_[13 + i] = le32(nonce.data() + 4 * i);
+}
+
+void ChaCha20::block(std::array<std::uint32_t, 16>& out) {
+  out = state_;
+  for (int round = 0; round < 10; ++round) {
+    quarter_round(out, 0, 4, 8, 12);
+    quarter_round(out, 1, 5, 9, 13);
+    quarter_round(out, 2, 6, 10, 14);
+    quarter_round(out, 3, 7, 11, 15);
+    quarter_round(out, 0, 5, 10, 15);
+    quarter_round(out, 1, 6, 11, 12);
+    quarter_round(out, 2, 7, 8, 13);
+    quarter_round(out, 3, 4, 9, 14);
+  }
+  for (int i = 0; i < 16; ++i) out[i] += state_[i];
+  ++state_[12];
+}
+
+std::array<std::uint8_t, 64> ChaCha20::keystream_block() {
+  std::array<std::uint32_t, 16> words;
+  block(words);
+  std::array<std::uint8_t, 64> out;
+  for (int i = 0; i < 16; ++i) {
+    out[4 * i] = static_cast<std::uint8_t>(words[i]);
+    out[4 * i + 1] = static_cast<std::uint8_t>(words[i] >> 8);
+    out[4 * i + 2] = static_cast<std::uint8_t>(words[i] >> 16);
+    out[4 * i + 3] = static_cast<std::uint8_t>(words[i] >> 24);
+  }
+  return out;
+}
+
+void ChaCha20::apply(Bytes& data) {
+  std::size_t off = 0;
+  while (off < data.size()) {
+    const auto ks = keystream_block();
+    const std::size_t n = std::min<std::size_t>(64, data.size() - off);
+    for (std::size_t i = 0; i < n; ++i) data[off + i] ^= ks[i];
+    off += n;
+  }
+}
+
+Bytes ChaCha20::crypt(BytesView key, BytesView nonce, BytesView data,
+                      std::uint32_t initial_counter) {
+  Bytes out(data.begin(), data.end());
+  ChaCha20 c(key, nonce, initial_counter);
+  c.apply(out);
+  return out;
+}
+
+}  // namespace p3s::crypto

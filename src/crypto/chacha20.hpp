@@ -1,0 +1,36 @@
+// ChaCha20 stream cipher (RFC 8439). Backbone of the AEAD and the DRBG.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p3s::crypto {
+
+class ChaCha20 {
+ public:
+  static constexpr std::size_t kKeySize = 32;
+  static constexpr std::size_t kNonceSize = 12;
+
+  /// Throws std::invalid_argument on wrong key/nonce sizes.
+  ChaCha20(BytesView key, BytesView nonce, std::uint32_t initial_counter = 0);
+
+  /// XOR the keystream into `data` in place (encrypt == decrypt).
+  void apply(Bytes& data);
+
+  /// One-shot: returns data XOR keystream.
+  static Bytes crypt(BytesView key, BytesView nonce, BytesView data,
+                     std::uint32_t initial_counter = 0);
+
+  /// One 64-byte keystream block at the current counter (used by Poly1305
+  /// key derivation and the DRBG), then advances the counter.
+  std::array<std::uint8_t, 64> keystream_block();
+
+ private:
+  void block(std::array<std::uint32_t, 16>& out);
+
+  std::array<std::uint32_t, 16> state_;
+};
+
+}  // namespace p3s::crypto

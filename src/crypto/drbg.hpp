@@ -1,0 +1,30 @@
+// ChaCha20-based deterministic random bit generator with fast key erasure.
+// This is the production Rng implementation; TestRng (common) is for tests.
+#pragma once
+
+#include <array>
+
+#include "common/rng.hpp"
+
+namespace p3s::crypto {
+
+class Drbg final : public Rng {
+ public:
+  /// Seeded from std::random_device.
+  Drbg();
+  /// Deterministic seeding (reproducible experiments). Seed is hashed, so
+  /// any length is fine.
+  explicit Drbg(BytesView seed);
+
+  void fill(std::span<std::uint8_t> out) override;
+
+ private:
+  void refill();
+
+  std::array<std::uint8_t, 32> key_;
+  std::array<std::uint8_t, 960> pool_;  // 15 blocks of output per rekey
+  std::size_t pos_;
+  std::uint64_t counter_ = 0;
+};
+
+}  // namespace p3s::crypto

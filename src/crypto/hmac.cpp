@@ -1,0 +1,57 @@
+#include "crypto/hmac.hpp"
+
+#include <stdexcept>
+
+#include "crypto/sha256.hpp"
+
+namespace p3s::crypto {
+
+Bytes hmac_sha256(BytesView key, BytesView data) {
+  Bytes k(key.begin(), key.end());
+  if (k.size() > Sha256::kBlockSize) k = Sha256::digest(k);
+  k.resize(Sha256::kBlockSize, 0);
+
+  Bytes ipad = k, opad = k;
+  for (std::size_t i = 0; i < Sha256::kBlockSize; ++i) {
+    ipad[i] ^= 0x36;
+    opad[i] ^= 0x5c;
+  }
+
+  Sha256 inner;
+  inner.update(ipad);
+  inner.update(data);
+  const Bytes inner_digest = inner.finish();
+
+  Sha256 outer;
+  outer.update(opad);
+  outer.update(inner_digest);
+  return outer.finish();
+}
+
+Bytes hkdf_extract(BytesView salt, BytesView ikm) {
+  return hmac_sha256(salt, ikm);
+}
+
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len) {
+  if (len > 255 * Sha256::kDigestSize) {
+    throw std::invalid_argument("hkdf_expand: output too long");
+  }
+  Bytes out;
+  Bytes t;
+  std::uint8_t counter = 1;
+  while (out.size() < len) {
+    Bytes block = t;
+    block.insert(block.end(), info.begin(), info.end());
+    block.push_back(counter++);
+    t = hmac_sha256(prk, block);
+    out.insert(out.end(), t.begin(), t.end());
+  }
+  out.resize(len);
+  return out;
+}
+
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t len) {
+  return hkdf_expand(hkdf_extract(salt, ikm), info, len);
+}
+
+}  // namespace p3s::crypto

@@ -1,0 +1,21 @@
+// HMAC-SHA256 (RFC 2104) and HKDF (RFC 5869). HKDF is the KDF used to turn
+// pairing-group elements (GT) and DH shared secrets into symmetric keys.
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace p3s::crypto {
+
+/// HMAC-SHA256 of `data` under `key` (any key length).
+Bytes hmac_sha256(BytesView key, BytesView data);
+
+/// HKDF-Extract(salt, ikm) -> 32-byte PRK.
+Bytes hkdf_extract(BytesView salt, BytesView ikm);
+
+/// HKDF-Expand(prk, info, len); len <= 255*32.
+Bytes hkdf_expand(BytesView prk, BytesView info, std::size_t len);
+
+/// Extract-then-expand convenience.
+Bytes hkdf(BytesView salt, BytesView ikm, BytesView info, std::size_t len);
+
+}  // namespace p3s::crypto

@@ -1,0 +1,158 @@
+#include "crypto/poly1305.hpp"
+
+#include <cstdint>
+#include <stdexcept>
+
+namespace p3s::crypto {
+
+namespace {
+constexpr std::uint64_t kMask26 = (1u << 26) - 1;
+
+std::uint32_t le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+}  // namespace
+
+Bytes poly1305_tag(BytesView key, BytesView msg) {
+  if (key.size() != 32) throw std::invalid_argument("poly1305: bad key size");
+
+  // r (clamped), decomposed into 26-bit limbs.
+  const std::uint32_t t0 = le32(key.data()) & 0x0fffffff;
+  const std::uint32_t t1 = le32(key.data() + 4) & 0x0ffffffc;
+  const std::uint32_t t2 = le32(key.data() + 8) & 0x0ffffffc;
+  const std::uint32_t t3 = le32(key.data() + 12) & 0x0ffffffc;
+
+  const std::uint64_t r0 = t0 & kMask26;
+  const std::uint64_t r1 = ((t0 >> 26) | (static_cast<std::uint64_t>(t1) << 6)) & kMask26;
+  const std::uint64_t r2 = ((t1 >> 20) | (static_cast<std::uint64_t>(t2) << 12)) & kMask26;
+  const std::uint64_t r3 = ((t2 >> 14) | (static_cast<std::uint64_t>(t3) << 18)) & kMask26;
+  const std::uint64_t r4 = t3 >> 8;
+
+  std::uint64_t h0 = 0, h1 = 0, h2 = 0, h3 = 0, h4 = 0;
+
+  std::size_t off = 0;
+  while (off < msg.size()) {
+    const std::size_t n = std::min<std::size_t>(16, msg.size() - off);
+    std::uint8_t block[17] = {};
+    for (std::size_t i = 0; i < n; ++i) block[i] = msg[off + i];
+    block[n] = (n == 16) ? 0 : 1;  // pad bit for partial block
+    const std::uint64_t hibit = (n == 16) ? (1u << 24) : 0;
+
+    const std::uint32_t m0 = le32(block);
+    const std::uint32_t m1 = le32(block + 4);
+    const std::uint32_t m2 = le32(block + 8);
+    const std::uint32_t m3 = le32(block + 12);
+    // block[16] holds the partial-block pad bit (bit 8*n == bit 128 only when
+    // n == 16, handled by hibit instead).
+    h0 += m0 & kMask26;
+    h1 += ((m0 >> 26) | (static_cast<std::uint64_t>(m1) << 6)) & kMask26;
+    h2 += ((m1 >> 20) | (static_cast<std::uint64_t>(m2) << 12)) & kMask26;
+    h3 += ((m2 >> 14) | (static_cast<std::uint64_t>(m3) << 18)) & kMask26;
+    h4 += (m3 >> 8) | (static_cast<std::uint64_t>(block[16]) << 24) | hibit;
+
+    // h *= r (mod 2^130 - 5)
+    const std::uint64_t d0 =
+        h0 * r0 + 5 * (h1 * r4 + h2 * r3 + h3 * r2 + h4 * r1);
+    const std::uint64_t d1 =
+        h0 * r1 + h1 * r0 + 5 * (h2 * r4 + h3 * r3 + h4 * r2);
+    const std::uint64_t d2 =
+        h0 * r2 + h1 * r1 + h2 * r0 + 5 * (h3 * r4 + h4 * r3);
+    const std::uint64_t d3 = h0 * r3 + h1 * r2 + h2 * r1 + h3 * r0 + 5 * (h4 * r4);
+    const std::uint64_t d4 = h0 * r4 + h1 * r3 + h2 * r2 + h3 * r1 + h4 * r0;
+
+    std::uint64_t c;
+    c = d0 >> 26;
+    h0 = d0 & kMask26;
+    std::uint64_t e1 = d1 + c;
+    c = e1 >> 26;
+    h1 = e1 & kMask26;
+    std::uint64_t e2 = d2 + c;
+    c = e2 >> 26;
+    h2 = e2 & kMask26;
+    std::uint64_t e3 = d3 + c;
+    c = e3 >> 26;
+    h3 = e3 & kMask26;
+    std::uint64_t e4 = d4 + c;
+    c = e4 >> 26;
+    h4 = e4 & kMask26;
+    h0 += c * 5;
+    c = h0 >> 26;
+    h0 &= kMask26;
+    h1 += c;
+
+    off += n;
+  }
+
+  // Full carry propagation.
+  std::uint64_t c;
+  c = h1 >> 26;
+  h1 &= kMask26;
+  h2 += c;
+  c = h2 >> 26;
+  h2 &= kMask26;
+  h3 += c;
+  c = h3 >> 26;
+  h3 &= kMask26;
+  h4 += c;
+  c = h4 >> 26;
+  h4 &= kMask26;
+  h0 += c * 5;
+  c = h0 >> 26;
+  h0 &= kMask26;
+  h1 += c;
+
+  // Compute h + -p = h - (2^130 - 5); select it if non-negative.
+  std::uint64_t g0 = h0 + 5;
+  c = g0 >> 26;
+  g0 &= kMask26;
+  std::uint64_t g1 = h1 + c;
+  c = g1 >> 26;
+  g1 &= kMask26;
+  std::uint64_t g2 = h2 + c;
+  c = g2 >> 26;
+  g2 &= kMask26;
+  std::uint64_t g3 = h3 + c;
+  c = g3 >> 26;
+  g3 &= kMask26;
+  std::uint64_t g4 = h4 + c;
+  const bool ge_p = (g4 >> 26) != 0;
+  g4 &= kMask26;
+  if (ge_p) {
+    h0 = g0;
+    h1 = g1;
+    h2 = g2;
+    h3 = g3;
+    h4 = g4;
+  }
+
+  // h mod 2^128 into four 32-bit words.
+  const std::uint64_t f0 = (h0 | (h1 << 26)) & 0xffffffffull;
+  const std::uint64_t f1 = ((h1 >> 6) | (h2 << 20)) & 0xffffffffull;
+  const std::uint64_t f2 = ((h2 >> 12) | (h3 << 14)) & 0xffffffffull;
+  const std::uint64_t f3 = ((h3 >> 18) | (h4 << 8)) & 0xffffffffull;
+
+  // tag = (h + s) mod 2^128 where s = key[16..32).
+  std::uint64_t acc = f0 + le32(key.data() + 16);
+  Bytes tag(16);
+  for (int i = 0; i < 4; ++i) {
+    tag[i] = static_cast<std::uint8_t>(acc >> (8 * i));
+  }
+  acc = (acc >> 32) + f1 + le32(key.data() + 20);
+  for (int i = 0; i < 4; ++i) {
+    tag[4 + i] = static_cast<std::uint8_t>(acc >> (8 * i));
+  }
+  acc = (acc >> 32) + f2 + le32(key.data() + 24);
+  for (int i = 0; i < 4; ++i) {
+    tag[8 + i] = static_cast<std::uint8_t>(acc >> (8 * i));
+  }
+  acc = (acc >> 32) + f3 + le32(key.data() + 28);
+  for (int i = 0; i < 4; ++i) {
+    tag[12 + i] = static_cast<std::uint8_t>(acc >> (8 * i));
+  }
+  return tag;
+}
+
+}  // namespace p3s::crypto

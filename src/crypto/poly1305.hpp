@@ -1,0 +1,12 @@
+// Poly1305 one-time authenticator (RFC 8439).
+#pragma once
+
+#include "common/bytes.hpp"
+
+namespace p3s::crypto {
+
+/// Compute the 16-byte Poly1305 tag of `msg` under the 32-byte one-time key.
+/// Throws std::invalid_argument on wrong key size.
+Bytes poly1305_tag(BytesView key, BytesView msg);
+
+}  // namespace p3s::crypto

@@ -1,0 +1,37 @@
+// SHA-256 (FIPS 180-4). Used for HMAC/HKDF, hash-to-group, GUID commitment
+// checks, and the DRBG seed path.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p3s::crypto {
+
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestSize = 32;
+  static constexpr std::size_t kBlockSize = 64;
+
+  Sha256();
+
+  void update(BytesView data);
+  /// Finalize and return the 32-byte digest. The object must not be reused
+  /// after finalization.
+  Bytes finish();
+
+  /// One-shot convenience.
+  static Bytes digest(BytesView data);
+
+ private:
+  void compress(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, kBlockSize> buffer_;
+  std::size_t buffer_len_ = 0;
+  std::uint64_t total_len_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace p3s::crypto

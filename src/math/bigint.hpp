@@ -1,0 +1,116 @@
+// Arbitrary-precision signed integers. This is the arithmetic substrate for
+// the pairing library (the paper's prototype used jPBC/PBC; we build the
+// equivalent from scratch — see DESIGN.md §2).
+//
+// Representation: sign/magnitude with 64-bit little-endian limbs, always
+// normalized (no high zero limbs; zero is non-negative with empty limbs).
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+
+namespace p3s::math {
+
+struct DivMod;
+
+class BigInt {
+ public:
+  BigInt() = default;  // zero
+  BigInt(std::int64_t v);
+  BigInt(std::uint64_t v);
+  BigInt(int v) : BigInt(static_cast<std::int64_t>(v)) {}
+
+  /// Parse decimal, with optional leading '-'. Throws on malformed input.
+  static BigInt from_dec(std::string_view s);
+  /// Parse hex (no 0x prefix), with optional leading '-'.
+  static BigInt from_hex(std::string_view s);
+  /// Big-endian unsigned bytes.
+  static BigInt from_bytes(BytesView data);
+
+  std::string to_dec() const;
+  std::string to_hex() const;
+  /// Big-endian unsigned bytes, padded with leading zeros to at least
+  /// `min_len`. Throws if negative.
+  Bytes to_bytes(std::size_t min_len = 0) const;
+
+  bool is_zero() const { return limbs_.empty(); }
+  bool is_negative() const { return negative_; }
+  bool is_odd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  bool is_even() const { return !is_odd(); }
+
+  /// Number of significant bits (0 for zero).
+  std::size_t bit_length() const;
+  /// Value of bit i (LSB = 0) of the magnitude.
+  bool bit(std::size_t i) const;
+
+  /// Convert to uint64_t; throws std::overflow_error if it does not fit or
+  /// is negative.
+  std::uint64_t to_u64() const;
+
+  BigInt operator-() const;
+  BigInt abs() const;
+
+  friend BigInt operator+(const BigInt& a, const BigInt& b);
+  friend BigInt operator-(const BigInt& a, const BigInt& b);
+  friend BigInt operator*(const BigInt& a, const BigInt& b);
+  /// Truncated division (C++ semantics: quotient rounds toward zero).
+  friend BigInt operator/(const BigInt& a, const BigInt& b);
+  /// Remainder with sign of dividend (C++ semantics).
+  friend BigInt operator%(const BigInt& a, const BigInt& b);
+  friend BigInt operator<<(const BigInt& a, std::size_t n);
+  friend BigInt operator>>(const BigInt& a, std::size_t n);
+
+  BigInt& operator+=(const BigInt& b) { return *this = *this + b; }
+  BigInt& operator-=(const BigInt& b) { return *this = *this - b; }
+  BigInt& operator*=(const BigInt& b) { return *this = *this * b; }
+  BigInt& operator%=(const BigInt& b) { return *this = *this % b; }
+
+  std::strong_ordering operator<=>(const BigInt& b) const;
+  bool operator==(const BigInt& b) const = default;
+
+  /// Quotient and remainder in one pass (truncated division).
+  static DivMod divmod(const BigInt& a, const BigInt& b);
+
+  /// Uniform random integer with exactly `bits` bits (MSB set) — used for
+  /// prime generation.
+  static BigInt random_bits(Rng& rng, std::size_t bits);
+  /// Uniform random integer in [0, bound). bound must be positive.
+  static BigInt random_below(Rng& rng, const BigInt& bound);
+
+  /// Access for field-internal fast paths (read-only).
+  const std::vector<std::uint64_t>& limbs() const { return limbs_; }
+
+  /// Construct a non-negative value from little-endian 64-bit limbs
+  /// (normalizing trailing zeros). Fast path for Montgomery arithmetic.
+  static BigInt from_limbs_le(std::vector<std::uint64_t> limbs);
+
+ private:
+  static BigInt from_limbs(std::vector<std::uint64_t> limbs, bool negative);
+  void normalize();
+  // Magnitude helpers (ignore sign).
+  static int cmp_mag(const BigInt& a, const BigInt& b);
+  static std::vector<std::uint64_t> add_mag(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+  // Requires |a| >= |b|.
+  static std::vector<std::uint64_t> sub_mag(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+  static std::vector<std::uint64_t> mul_mag(const std::vector<std::uint64_t>& a,
+                                            const std::vector<std::uint64_t>& b);
+
+  std::vector<std::uint64_t> limbs_;
+  bool negative_ = false;
+};
+
+/// Result of BigInt::divmod (truncated division).
+struct DivMod {
+  BigInt quot;
+  BigInt rem;
+};
+
+}  // namespace p3s::math

@@ -1,0 +1,118 @@
+#include "math/montgomery.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "math/modular.hpp"
+
+namespace p3s::math {
+
+namespace {
+using u64 = std::uint64_t;
+using u128 = unsigned __int128;
+
+// -x⁻¹ mod 2^64 for odd x (Newton–Hensel lifting: 6 iterations double the
+// precision each time: 2, 4, 8, 16, 32, 64 bits).
+u64 neg_inv64(u64 x) {
+  u64 inv = 1;
+  for (int i = 0; i < 6; ++i) inv *= 2 - x * inv;
+  return ~inv + 1;  // -inv
+}
+}  // namespace
+
+Montgomery::Montgomery(const BigInt& modulus) : n_(modulus) {
+  if (n_ <= BigInt{1} || n_.is_even()) {
+    throw std::invalid_argument("Montgomery: modulus must be odd and > 1");
+  }
+  n_limbs_ = n_.limbs();
+  n0_inv_ = neg_inv64(n_limbs_[0]);
+  // R² mod n by repeated modular doubling of R mod n.
+  const std::size_t k = n_limbs_.size();
+  BigInt r = mod(BigInt{1} << (64 * k), n_);
+  one_mont_ = r;
+  BigInt r2 = r;
+  for (std::size_t i = 0; i < 64 * k; ++i) {
+    r2 = mod_add(r2, r2, n_);
+  }
+  r2_ = r2;
+}
+
+std::vector<u64> Montgomery::mont_mul_limbs(const std::vector<u64>& a,
+                                            const std::vector<u64>& b) const {
+  // CIOS (coarsely integrated operand scanning), Koç et al.
+  const std::size_t k = n_limbs_.size();
+  std::vector<u64> t(k + 2, 0);
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 ai = i < a.size() ? a[i] : 0;
+    // t += a[i] * b
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 bj = j < b.size() ? b[j] : 0;
+      const u128 cur = static_cast<u128>(t[j]) + ai * bj + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    t[k + 1] = static_cast<u64>(cur >> 64);
+
+    // Reduce: add m·n and shift one word.
+    const u64 m = t[0] * n0_inv_;
+    u128 acc = static_cast<u128>(t[0]) + static_cast<u128>(m) * n_limbs_[0];
+    carry = static_cast<u64>(acc >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      acc = static_cast<u128>(t[j]) + static_cast<u128>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    acc = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(acc);
+    t[k] = t[k + 1] + static_cast<u64>(acc >> 64);
+    t[k + 1] = 0;
+  }
+  t.resize(k + 1);
+  return t;
+}
+
+BigInt Montgomery::mul(const BigInt& a_mont, const BigInt& b_mont) const {
+  BigInt result =
+      BigInt::from_limbs_le(mont_mul_limbs(a_mont.limbs(), b_mont.limbs()));
+  // CIOS leaves the result < 2n; one conditional subtraction normalizes.
+  if (result >= n_) result -= n_;
+  return result;
+}
+
+BigInt Montgomery::to_mont(const BigInt& a) const { return mul(a, r2_); }
+
+BigInt Montgomery::from_mont(const BigInt& a_mont) const {
+  return mul(a_mont, BigInt{1});
+}
+
+BigInt Montgomery::pow(const BigInt& base, const BigInt& exp) const {
+  if (exp.is_negative()) {
+    throw std::invalid_argument("Montgomery::pow: negative exponent");
+  }
+  const BigInt b = to_mont(mod(base, n_));
+  const std::size_t bits = exp.bit_length();
+  if (bits == 0) return mod(BigInt{1}, n_);
+
+  std::array<BigInt, 16> table;
+  table[0] = one_mont_;
+  table[1] = b;
+  for (int i = 2; i < 16; ++i) table[i] = mul(table[i - 1], b);
+
+  const std::size_t windows = (bits + 3) / 4;
+  BigInt acc = one_mont_;
+  for (std::size_t w = windows; w-- > 0;) {
+    for (int i = 0; i < 4; ++i) acc = mul(acc, acc);
+    unsigned nib = 0;
+    for (int i = 3; i >= 0; --i) {
+      nib = (nib << 1) |
+            (exp.bit(w * 4 + static_cast<std::size_t>(i)) ? 1u : 0u);
+    }
+    if (nib != 0) acc = mul(acc, table[nib]);
+  }
+  return from_mont(acc);
+}
+
+}  // namespace p3s::math

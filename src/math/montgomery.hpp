@@ -1,0 +1,48 @@
+// Montgomery-form modular arithmetic for a fixed odd modulus (CIOS
+// multiplication). Used to accelerate modular exponentiation — the dominant
+// cost of Miller–Rabin during pairing-parameter generation and of the
+// pairing's final exponentiation path.
+//
+// R = 2^(64·k) where k is the modulus limb count. Values in "Montgomery
+// form" are a·R mod n; mul() computes a·b·R⁻¹ mod n.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "math/bigint.hpp"
+
+namespace p3s::math {
+
+class Montgomery {
+ public:
+  /// Throws std::invalid_argument unless modulus is odd and > 1.
+  explicit Montgomery(const BigInt& modulus);
+
+  const BigInt& modulus() const { return n_; }
+
+  /// a·R mod n (a in [0, n)); from_mont inverts it.
+  BigInt to_mont(const BigInt& a) const;
+  BigInt from_mont(const BigInt& a_mont) const;
+
+  /// Montgomery product a·b·R⁻¹ mod n (both inputs in Montgomery form,
+  /// output in Montgomery form).
+  BigInt mul(const BigInt& a_mont, const BigInt& b_mont) const;
+
+  /// base^exp mod n with plain-form input and output (4-bit window,
+  /// Montgomery internally). exp >= 0.
+  BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+ private:
+  std::vector<std::uint64_t> mont_mul_limbs(
+      const std::vector<std::uint64_t>& a,
+      const std::vector<std::uint64_t>& b) const;
+
+  BigInt n_;
+  std::vector<std::uint64_t> n_limbs_;
+  std::uint64_t n0_inv_;  // -n⁻¹ mod 2^64
+  BigInt r2_;             // R² mod n
+  BigInt one_mont_;       // R mod n
+};
+
+}  // namespace p3s::math

@@ -1,0 +1,62 @@
+#include "math/prime.hpp"
+
+#include <array>
+#include <stdexcept>
+
+#include "math/modular.hpp"
+
+namespace p3s::math {
+
+namespace {
+constexpr std::array<std::uint64_t, 40> kSmallPrimes = {
+    2,   3,   5,   7,   11,  13,  17,  19,  23,  29,  31,  37,  41,  43,
+    47,  53,  59,  61,  67,  71,  73,  79,  83,  89,  97,  101, 103, 107,
+    109, 113, 127, 131, 137, 139, 149, 151, 157, 163, 167, 173};
+}  // namespace
+
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds) {
+  if (n < BigInt{2}) return false;
+  for (std::uint64_t p : kSmallPrimes) {
+    const BigInt bp{p};
+    if (n == bp) return true;
+    if ((n % bp).is_zero()) return false;
+  }
+
+  // Write n - 1 = d * 2^s with d odd.
+  const BigInt n_minus_1 = n - BigInt{1};
+  std::size_t s = 0;
+  BigInt d = n_minus_1;
+  while (d.is_even()) {
+    d = d >> 1;
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // Random base in [2, n-2].
+    const BigInt a = BigInt{2} + BigInt::random_below(rng, n - BigInt{3});
+    BigInt x = mod_pow(a, d, n);
+    if (x == BigInt{1} || x == n_minus_1) continue;
+    bool witness = true;
+    for (std::size_t i = 0; i + 1 < s; ++i) {
+      x = mod_mul(x, x, n);
+      if (x == n_minus_1) {
+        witness = false;
+        break;
+      }
+    }
+    if (witness) return false;
+  }
+  return true;
+}
+
+BigInt random_prime(Rng& rng, std::size_t bits, int rounds) {
+  if (bits < 2) throw std::invalid_argument("random_prime: need >= 2 bits");
+  for (;;) {
+    BigInt cand = BigInt::random_bits(rng, bits);
+    if (cand.is_even()) cand += BigInt{1};
+    if (cand.bit_length() != bits) continue;  // +1 overflowed the width
+    if (is_probable_prime(cand, rng, rounds)) return cand;
+  }
+}
+
+}  // namespace p3s::math

@@ -1,0 +1,15 @@
+// Primality testing and prime generation for pairing parameter setup.
+#pragma once
+
+#include "math/bigint.hpp"
+
+namespace p3s::math {
+
+/// Miller–Rabin probabilistic primality test. `rounds` random bases; error
+/// probability <= 4^-rounds. Handles small/even inputs exactly.
+bool is_probable_prime(const BigInt& n, Rng& rng, int rounds = 32);
+
+/// Random prime with exactly `bits` bits.
+BigInt random_prime(Rng& rng, std::size_t bits, int rounds = 32);
+
+}  // namespace p3s::math

@@ -1,0 +1,267 @@
+#include "model/flowsim.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/simnet.hpp"
+
+namespace p3s::model {
+
+namespace {
+
+// Flow-sim frames are 9 bytes (8-byte publication id + tag); the wire size
+// used for NIC/link timing is passed separately via send_sized, so
+// multi-megabyte payload experiments cost no memory.
+enum : std::uint8_t {
+  kTagMetadata = 0,
+  kTagStore = 1,
+  kTagRequest = 2,
+  kTagContent = 3,
+};
+
+Bytes make_frame(std::size_t pub_id, std::uint8_t tag) {
+  Bytes f(9);
+  for (int i = 0; i < 8; ++i) {
+    f[i] = static_cast<std::uint8_t>(pub_id >> (8 * (7 - i)));
+  }
+  f[8] = tag;
+  return f;
+}
+
+std::size_t frame_id(BytesView f) {
+  std::size_t id = 0;
+  for (int i = 0; i < 8; ++i) id = (id << 8) | f[i];
+  return id;
+}
+
+std::size_t matching_count(const ModelParams& p) {
+  return static_cast<std::size_t>(
+      p.match_fraction * static_cast<double>(p.n_subscribers) + 0.5);
+}
+
+// Serial resource with `threads` workers approximated as a fluid server of
+// rate threads/service_time (the paper models matching capacity the same
+// way: r = z / t_match).
+class FluidServer {
+ public:
+  FluidServer(double service_time, unsigned threads)
+      : effective_time_(service_time / static_cast<double>(threads)) {}
+
+  /// Returns completion time for work arriving at `arrival`.
+  double finish(double arrival) {
+    busy_until_ = std::max(busy_until_, arrival) + effective_time_;
+    return busy_until_;
+  }
+
+ private:
+  double effective_time_;
+  double busy_until_ = 0.0;
+};
+
+struct BaselineSim {
+  sim::SimEngine engine;
+  sim::SimNetwork net;
+  std::vector<double> completions;
+
+  BaselineSim(const ModelParams& p, double payload_bytes, int n_pubs)
+      : net(engine, {p.latency_s, p.bandwidth_bps}) {
+    const std::size_t n_match = matching_count(p);
+    const auto payload = static_cast<std::size_t>(payload_bytes);
+    auto matcher = std::make_shared<FluidServer>(
+        static_cast<double>(p.n_subscribers) * p.t_baseline_match_s,
+        p.broker_threads);
+
+    // Matching subscribers record payload arrival; a publication completes
+    // when its n_match-th delivery lands (deliveries arrive in order).
+    for (std::size_t s = 0; s < n_match; ++s) {
+      net.register_endpoint(
+          "sub" + std::to_string(s),
+          [this, n_match](const std::string&, BytesView) {
+            if (++deliveries_seen % n_match == 0) {
+              completions.push_back(engine.now());
+            }
+          });
+    }
+
+    net.register_endpoint(
+        "broker", [this, payload, n_match, matcher](const std::string&,
+                                                    BytesView frame) {
+          const std::size_t id = frame_id(frame);
+          const double done_matching = matcher->finish(engine.now());
+          engine.at(done_matching, [this, id, payload, n_match] {
+            for (std::size_t s = 0; s < n_match; ++s) {
+              net.send_sized("broker", "sub" + std::to_string(s),
+                             make_frame(id, kTagContent), payload);
+            }
+          });
+        });
+
+    net.register_endpoint("pub", [](const std::string&, BytesView) {});
+    for (int k = 0; k < n_pubs; ++k) {
+      net.send_sized("pub", "broker", make_frame(static_cast<std::size_t>(k),
+                                                 kTagMetadata),
+                     payload);
+    }
+    engine.run();
+  }
+
+ private:
+  std::size_t deliveries_seen = 0;
+};
+
+struct P3sSim {
+  sim::SimEngine engine;
+  sim::SimNetwork net;
+  std::vector<double> completions;
+
+  P3sSim(const ModelParams& p, double payload_bytes, int n_pubs)
+      : net(engine, {p.latency_s, p.bandwidth_bps}) {
+    const std::size_t n_match = matching_count(p);
+    const std::size_t pe = static_cast<std::size_t>(p.metadata_ct_bytes);
+    const std::size_t ca =
+        static_cast<std::size_t>(p.abe_ct_bytes(payload_bytes));
+    const std::size_t guid = static_cast<std::size_t>(p.guid_bytes);
+
+    // DS→RS is a LAN link (paper: 100 Mbps); content forwarding leaves from
+    // a dedicated store port, mirroring the model's parallel paths.
+    net.set_link("ds-store", "rs", {p.latency_s, p.lan_bandwidth_bps});
+
+    // Per-subscriber matching capacity: w threads at t_PBE each.
+    std::vector<std::shared_ptr<FluidServer>> matchers;
+    for (std::size_t s = 0; s < p.n_subscribers; ++s) {
+      matchers.push_back(
+          std::make_shared<FluidServer>(p.t_pbe_match_s, p.sub_match_threads));
+    }
+
+    // RS: holds content availability per publication id; queues early
+    // requests until the store arrives.
+    auto stored = std::make_shared<std::set<std::size_t>>();
+    auto waiting =
+        std::make_shared<std::map<std::size_t, std::vector<std::string>>>();
+
+    net.register_endpoint(
+        "rs", [this, ca, stored, waiting](const std::string& from,
+                                          BytesView frame) {
+          const std::size_t id = frame_id(frame);
+          if (frame[8] == kTagStore) {
+            stored->insert(id);
+            const auto it = waiting->find(id);
+            if (it != waiting->end()) {
+              for (const std::string& req : it->second) {
+                net.send_sized("rs", req, make_frame(id, kTagContent), ca);
+              }
+              waiting->erase(it);
+            }
+          } else if (frame[8] == kTagRequest) {
+            if (stored->contains(id)) {
+              net.send_sized("rs", from, make_frame(id, kTagContent), ca);
+            } else {
+              (*waiting)[id].push_back(from);
+            }
+          }
+        });
+
+    // Subscribers: match on metadata arrival, request content, decrypt.
+    for (std::size_t s = 0; s < p.n_subscribers; ++s) {
+      const std::string name = "sub" + std::to_string(s);
+      // Paper's worst case: "matching subscribers receive the encrypted
+      // metadata last" — put them at the end of the fan-out order.
+      const bool matches = s + n_match >= p.n_subscribers;
+      net.register_endpoint(
+          name, [this, &p, s, name, matches, guid, n_match,
+                 matchers](const std::string&, BytesView frame) {
+            const std::size_t id = frame_id(frame);
+            if (frame[8] == kTagContent) {
+              engine.after(p.t_abe_decrypt_s, [this, n_match] {
+                if (++deliveries_seen % n_match == 0) {
+                  completions.push_back(engine.now());
+                }
+              });
+              return;
+            }
+            // Metadata broadcast: run the local PBE match.
+            const double done = matchers[s]->finish(engine.now());
+            if (matches) {
+              engine.at(done, [this, name, id, guid] {
+                net.send_sized(name, "rs", make_frame(id, kTagRequest),
+                               std::max<std::size_t>(guid, 9));
+              });
+            }
+          });
+    }
+
+    // DS: fans metadata out; forwards content to RS via the store port.
+    net.register_endpoint(
+        "ds", [this, &p, pe](const std::string&, BytesView frame) {
+          const std::size_t id = frame_id(frame);
+          for (std::size_t s = 0; s < p.n_subscribers; ++s) {
+            net.send_sized("ds", "sub" + std::to_string(s),
+                           make_frame(id, kTagMetadata), pe);
+          }
+        });
+    net.register_endpoint("ds-store-in",
+                          [this, ca](const std::string&, BytesView frame) {
+                            net.send_sized("ds-store", "rs",
+                                           make_frame(frame_id(frame), kTagStore),
+                                           ca);
+                          });
+    net.register_endpoint("ds-store", [](const std::string&, BytesView) {});
+    net.register_endpoint("pub-m", [](const std::string&, BytesView) {});
+    net.register_endpoint("pub-c", [](const std::string&, BytesView) {});
+
+    // Publisher: metadata and content paths run in parallel (the model's
+    // max(t_p, t_b)); each publication pays its encryption times first.
+    for (int k = 0; k < n_pubs; ++k) {
+      const auto id = static_cast<std::size_t>(k);
+      const double pub_start = static_cast<double>(k) * 1e-9;  // back-to-back
+      engine.at(pub_start + p.t_pbe_encrypt_s, [this, id, pe] {
+        net.send_sized("pub-m", "ds", make_frame(id, kTagMetadata), pe);
+      });
+      engine.at(pub_start + p.t_abe_encrypt_s, [this, id, ca] {
+        net.send_sized("pub-c", "ds-store-in", make_frame(id, kTagStore), ca);
+      });
+    }
+    engine.run();
+  }
+
+ private:
+  std::size_t deliveries_seen = 0;
+};
+
+double rate_from_completions(const std::vector<double>& completions) {
+  if (completions.size() < 2) return 0.0;
+  const double span = completions.back() - completions.front();
+  if (span <= 0) return 0.0;
+  return static_cast<double>(completions.size() - 1) / span;
+}
+
+}  // namespace
+
+double simulate_baseline_latency(const ModelParams& p, double payload_bytes) {
+  BaselineSim sim(p, payload_bytes, 1);
+  return sim.completions.empty() ? 0.0 : sim.completions.back();
+}
+
+double simulate_p3s_latency(const ModelParams& p, double payload_bytes) {
+  P3sSim sim(p, payload_bytes, 1);
+  return sim.completions.empty() ? 0.0 : sim.completions.back();
+}
+
+double simulate_baseline_throughput(const ModelParams& p, double payload_bytes,
+                                    int n_pubs) {
+  BaselineSim sim(p, payload_bytes, n_pubs);
+  return rate_from_completions(sim.completions);
+}
+
+double simulate_p3s_throughput(const ModelParams& p, double payload_bytes,
+                               int n_pubs) {
+  P3sSim sim(p, payload_bytes, n_pubs);
+  return rate_from_completions(sim.completions);
+}
+
+}  // namespace p3s::model

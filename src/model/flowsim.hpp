@@ -1,0 +1,24 @@
+// Packet-level cross-check of the §6.2 analytic models: the same message
+// flows (Fig. 6/7) are replayed on the discrete-event network with NIC
+// serialization, link latency, and crypto costs as service times. Crypto is
+// charged as time, not executed — the functional correctness of the real
+// protocol is covered by the integration tests; this answers only the
+// performance question, exactly as the paper's models do.
+#pragma once
+
+#include "model/params.hpp"
+
+namespace p3s::model {
+
+/// End-to-end latency of one publication to the LAST matching subscriber.
+double simulate_baseline_latency(const ModelParams& p, double payload_bytes);
+double simulate_p3s_latency(const ModelParams& p, double payload_bytes);
+
+/// Sustained publications/second measured by injecting `n_pubs` back-to-back
+/// publications and timing the completion spacing.
+double simulate_baseline_throughput(const ModelParams& p, double payload_bytes,
+                                    int n_pubs = 24);
+double simulate_p3s_throughput(const ModelParams& p, double payload_bytes,
+                               int n_pubs = 24);
+
+}  // namespace p3s::model

@@ -1,0 +1,82 @@
+#include "model/workload.hpp"
+
+#include <cmath>
+
+namespace p3s::model {
+
+WorkloadGenerator::WorkloadGenerator(pbe::MetadataSchema schema,
+                                     WorkloadConfig config)
+    : schema_(std::move(schema)), config_(config) {
+  std::size_t max_values = 0;
+  for (const auto& spec : schema_.attributes()) {
+    max_values = std::max(max_values, spec.values.size());
+  }
+  // CDF over ranks 1..max_values with weight 1/rank^s.
+  double total = 0;
+  zipf_cdf_.reserve(max_values);
+  for (std::size_t rank = 1; rank <= max_values; ++rank) {
+    total += 1.0 / std::pow(static_cast<double>(rank), config_.zipf_s);
+    zipf_cdf_.push_back(total);
+  }
+  for (double& v : zipf_cdf_) v /= total;
+}
+
+std::size_t WorkloadGenerator::sample_value(Rng& rng,
+                                            std::size_t n_values) const {
+  // Rejection-free: renormalize the CDF prefix for this attribute.
+  const double scale = zipf_cdf_[n_values - 1];
+  const double u =
+      static_cast<double>(rng.uniform(1u << 30)) / static_cast<double>(1u << 30) *
+      scale;
+  for (std::size_t i = 0; i < n_values; ++i) {
+    if (u <= zipf_cdf_[i]) return i;
+  }
+  return n_values - 1;
+}
+
+pbe::Metadata WorkloadGenerator::random_metadata(Rng& rng) const {
+  pbe::Metadata md;
+  for (const auto& spec : schema_.attributes()) {
+    md[spec.name] = spec.values[sample_value(rng, spec.values.size())];
+  }
+  return md;
+}
+
+pbe::Interest WorkloadGenerator::random_interest(Rng& rng) const {
+  pbe::Interest interest;
+  const auto& attrs = schema_.attributes();
+  for (const auto& spec : attrs) {
+    const double u = static_cast<double>(rng.uniform(1u << 30)) /
+                     static_cast<double>(1u << 30);
+    if (u >= config_.wildcard_prob) {
+      interest[spec.name] = spec.values[sample_value(rng, spec.values.size())];
+    }
+  }
+  if (interest.empty()) {
+    // All-wildcard interests are rejected by the schema; pin one attribute.
+    const auto& spec = attrs[rng.uniform(attrs.size())];
+    interest[spec.name] = spec.values[sample_value(rng, spec.values.size())];
+  }
+  return interest;
+}
+
+double WorkloadGenerator::estimate_match_rate(Rng& rng,
+                                              std::size_t n_interests,
+                                              std::size_t n_publications) const {
+  std::vector<pbe::Interest> interests;
+  interests.reserve(n_interests);
+  for (std::size_t i = 0; i < n_interests; ++i) {
+    interests.push_back(random_interest(rng));
+  }
+  std::size_t matches = 0;
+  for (std::size_t k = 0; k < n_publications; ++k) {
+    const pbe::Metadata md = random_metadata(rng);
+    for (const auto& interest : interests) {
+      if (pbe::interest_matches(interest, md)) ++matches;
+    }
+  }
+  return static_cast<double>(matches) /
+         (static_cast<double>(n_interests) * static_cast<double>(n_publications));
+}
+
+}  // namespace p3s::model

@@ -1,0 +1,49 @@
+// Workload generation for scale experiments: skewed (Zipf) popularity over
+// attribute values — realistic pub-sub interest distributions where a few
+// topics are hot — plus empirical match-rate estimation, connecting
+// generated workloads to the f parameter the paper's models take as input.
+#pragma once
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pbe/schema.hpp"
+
+namespace p3s::model {
+
+struct WorkloadConfig {
+  /// Zipf skew parameter: 0 = uniform, 1 ≈ classic web-like skew.
+  double zipf_s = 0.8;
+  /// Probability that an interest leaves a given attribute as wildcard.
+  double wildcard_prob = 0.5;
+};
+
+class WorkloadGenerator {
+ public:
+  WorkloadGenerator(pbe::MetadataSchema schema, WorkloadConfig config = {});
+
+  /// Full metadata assignment with Zipf-weighted value popularity.
+  pbe::Metadata random_metadata(Rng& rng) const;
+
+  /// Conjunctive interest: each attribute independently wildcarded with
+  /// wildcard_prob; concrete values drawn from the same Zipf weights, so
+  /// popular content meets popular interest. Guaranteed non-empty.
+  pbe::Interest random_interest(Rng& rng) const;
+
+  /// Empirical match fraction f: generate `n_interests` interests and
+  /// `n_publications` metadata and count matches — the realized f that the
+  /// analytic models take as a parameter.
+  double estimate_match_rate(Rng& rng, std::size_t n_interests,
+                             std::size_t n_publications) const;
+
+  const pbe::MetadataSchema& schema() const { return schema_; }
+
+ private:
+  std::size_t sample_value(Rng& rng, std::size_t n_values) const;
+
+  pbe::MetadataSchema schema_;
+  WorkloadConfig config_;
+  std::vector<double> zipf_cdf_;  // shared CDF up to the max value count
+};
+
+}  // namespace p3s::model

@@ -1,0 +1,60 @@
+#include "net/async.hpp"
+
+#include <stdexcept>
+
+namespace p3s::net {
+
+void AsyncNetwork::register_endpoint(const std::string& name, Handler handler) {
+  if (!endpoints_.emplace(name, std::move(handler)).second) {
+    throw std::invalid_argument("AsyncNetwork: duplicate endpoint '" + name +
+                                "'");
+  }
+}
+
+void AsyncNetwork::unregister_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+void AsyncNetwork::send(const std::string& from, const std::string& to,
+                        Bytes frame) {
+  ++tick_;
+  record(from, to, frame);
+  queue_.push_back(InFlight{from, to, std::move(frame)});
+}
+
+bool AsyncNetwork::pump_one() {
+  while (!queue_.empty()) {
+    InFlight msg;
+    if (reorder_) {
+      msg = std::move(queue_.back());
+      queue_.pop_back();
+    } else {
+      msg = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    ++tick_;
+    if (drop_remaining_ > 0) {
+      --drop_remaining_;
+      ++dropped_;
+      continue;  // frame lost on the wire
+    }
+    const auto it = endpoints_.find(msg.to);
+    if (it == endpoints_.end()) continue;  // host down
+    Handler handler = it->second;  // copy: receiver may unregister itself
+    handler(msg.from, msg.frame);
+    return true;
+  }
+  return false;
+}
+
+std::size_t AsyncNetwork::run_until_idle(std::size_t max_deliveries) {
+  std::size_t delivered = 0;
+  while (pump_one()) {
+    if (++delivered > max_deliveries) {
+      throw std::runtime_error("AsyncNetwork: live-lock (message storm)");
+    }
+  }
+  return delivered;
+}
+
+}  // namespace p3s::net

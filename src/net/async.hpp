@@ -1,0 +1,67 @@
+// Deferred-delivery in-process network. Unlike DirectNetwork (inline,
+// synchronous), send() only enqueues; frames are delivered when the test or
+// application pumps the queue. This models true asynchronous message
+// passing — in-flight races, loss, reordering — while staying fully
+// deterministic and single-threaded.
+//
+// Fault injection hooks cover the §6.1 robustness discussion: "participants
+// can detect if network failures cause message loss at the application
+// level" and the slow-consumer/deletion races behind the T_G grace period.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+
+#include "net/network.hpp"
+
+namespace p3s::net {
+
+class AsyncNetwork final : public Network {
+ public:
+  void register_endpoint(const std::string& name, Handler handler) override;
+  void unregister_endpoint(const std::string& name) override;
+  void send(const std::string& from, const std::string& to,
+            Bytes frame) override;
+  double now() const override { return static_cast<double>(tick_); }
+
+  /// Advance logical time without delivering anything.
+  void advance(std::uint64_t ticks) { tick_ += ticks; }
+
+  /// Deliver one in-flight frame (oldest first; newest first when
+  /// reordering is on). Returns false when nothing is in flight.
+  bool pump_one();
+
+  /// Deliver until the queue drains (frames sent during delivery are also
+  /// processed). Returns the number of frames delivered. Throws
+  /// std::runtime_error if `max_deliveries` is exceeded (live-lock guard).
+  std::size_t run_until_idle(std::size_t max_deliveries = 100000);
+
+  std::size_t in_flight() const { return queue_.size(); }
+
+  // --- fault injection -----------------------------------------------------
+  /// Drop the next `n` frames instead of delivering them (they still appear
+  /// in the traffic log — the wire saw them; the receiver did not).
+  void drop_next(std::size_t n) { drop_remaining_ += n; }
+  /// Deliver newest-first (adversarial reordering) while enabled.
+  void set_reorder(bool on) { reorder_ = on; }
+
+  std::size_t dropped_frames() const { return dropped_; }
+
+ private:
+  struct InFlight {
+    std::string from;
+    std::string to;
+    Bytes frame;
+  };
+
+  std::map<std::string, Handler> endpoints_;
+  std::deque<InFlight> queue_;
+  std::uint64_t tick_ = 0;
+  std::size_t drop_remaining_ = 0;
+  std::size_t dropped_ = 0;
+  bool reorder_ = false;
+};
+
+}  // namespace p3s::net

@@ -1,0 +1,84 @@
+// In-process message-passing substrate standing in for the paper's
+// ActiveMQ/JMS transport. Components register named endpoints and exchange
+// opaque byte frames. Two implementations:
+//   * DirectNetwork (this file) — immediate synchronous dispatch; used by
+//     functional tests and the runnable examples.
+//   * sim::SimNetwork (src/sim) — discrete-event delivery with link latency
+//     and bandwidth; used for the performance experiments.
+//
+// Every frame that crosses the network is also appended to a traffic log:
+// this is the "eavesdropper's view" used by the privacy tests (the paper's
+// §6.1 analysis of what network observers learn — sizes and endpoints, not
+// content).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/bytes.hpp"
+
+namespace p3s::net {
+
+/// What an eavesdropper records per frame.
+struct TrafficRecord {
+  double time = 0.0;
+  std::string from;
+  std::string to;
+  std::size_t size = 0;
+  Bytes frame;  // ciphertext as seen on the wire
+};
+
+class Network {
+ public:
+  using Handler =
+      std::function<void(const std::string& from, BytesView frame)>;
+
+  virtual ~Network() = default;
+
+  /// Register a named endpoint. Throws std::invalid_argument on duplicates.
+  virtual void register_endpoint(const std::string& name, Handler handler) = 0;
+  /// Remove an endpoint (component crash/leave). Unknown names are ignored.
+  virtual void unregister_endpoint(const std::string& name) = 0;
+  /// Queue a frame for delivery. Frames to unknown endpoints are dropped
+  /// (recorded in the traffic log either way, like a real wire).
+  virtual void send(const std::string& from, const std::string& to,
+                    Bytes frame) = 0;
+  /// Current network time in seconds (wall-free; simulated or logical).
+  virtual double now() const = 0;
+
+  const std::vector<TrafficRecord>& traffic() const { return traffic_; }
+  void clear_traffic() { traffic_.clear(); }
+  /// Total bytes ever sent from `name` (NIC egress counter).
+  std::uint64_t bytes_sent_by(const std::string& name) const;
+
+ protected:
+  void record(const std::string& from, const std::string& to,
+              const Bytes& frame) {
+    traffic_.push_back({now(), from, to, frame.size(), frame});
+  }
+
+  std::vector<TrafficRecord> traffic_;
+};
+
+/// Immediate synchronous delivery: `send` invokes the receiver's handler
+/// inline (re-entrantly for protocol chains). Logical time is a counter.
+class DirectNetwork final : public Network {
+ public:
+  void register_endpoint(const std::string& name, Handler handler) override;
+  void unregister_endpoint(const std::string& name) override;
+  void send(const std::string& from, const std::string& to,
+            Bytes frame) override;
+  double now() const override { return static_cast<double>(tick_); }
+
+  /// Advance logical time (e.g. to trigger RS garbage collection windows).
+  void advance(std::uint64_t ticks) { tick_ += ticks; }
+
+ private:
+  std::map<std::string, Handler> endpoints_;
+  std::uint64_t tick_ = 0;
+};
+
+}  // namespace p3s::net

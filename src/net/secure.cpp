@@ -1,0 +1,69 @@
+#include "net/secure.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+
+namespace p3s::net {
+
+namespace {
+Bytes direction_key(BytesView master, const char* label) {
+  return crypto::hkdf_expand(crypto::hkdf_extract(str_to_bytes("p3s-chan"), master),
+                             str_to_bytes(label), 32);
+}
+}  // namespace
+
+SecureSession::SecureSession(Bytes key, bool is_client) {
+  const Bytes c2s = direction_key(key, "client-to-server");
+  const Bytes s2c = direction_key(key, "server-to-client");
+  send_key_ = is_client ? c2s : s2c;
+  recv_key_ = is_client ? s2c : c2s;
+}
+
+SecureSession SecureSession::initiate(const pairing::Pairing& pairing,
+                                      const pairing::Point& server_pk, Rng& rng,
+                                      Bytes& hello_out) {
+  const Bytes master = rng.bytes(32);
+  hello_out = pairing::ecies_encrypt(pairing, server_pk, master, rng);
+  return SecureSession(master, /*is_client=*/true);
+}
+
+std::optional<SecureSession> SecureSession::accept(
+    const pairing::Pairing& pairing, const math::BigInt& server_sk,
+    BytesView hello) {
+  const auto master = pairing::ecies_decrypt(pairing, server_sk, hello);
+  if (!master.has_value() || master->size() != 32) return std::nullopt;
+  return SecureSession(*master, /*is_client=*/false);
+}
+
+Bytes SecureSession::seal(BytesView plaintext, Rng& rng) {
+  Writer aad;
+  aad.u64(send_seq_);
+  const crypto::AeadCiphertext ct =
+      crypto::aead_encrypt(send_key_, plaintext, aad.data(), rng);
+  Writer w;
+  w.u64(send_seq_++);
+  w.bytes(ct.serialize());
+  return w.take();
+}
+
+std::optional<Bytes> SecureSession::open(BytesView record) {
+  try {
+    Reader r(record);
+    const std::uint64_t seq = r.u64();
+    const Bytes body = r.bytes();
+    r.expect_done();
+    if (seq < recv_seq_) return std::nullopt;  // replay/reorder
+    Writer aad;
+    aad.u64(seq);
+    const auto pt = crypto::aead_decrypt(
+        recv_key_, crypto::AeadCiphertext::deserialize(body), aad.data());
+    if (!pt.has_value()) return std::nullopt;
+    recv_seq_ = seq + 1;
+    return pt;
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p3s::net

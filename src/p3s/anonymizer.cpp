@@ -1,0 +1,54 @@
+#include "p3s/anonymizer.hpp"
+
+#include "common/log.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+Anonymizer::Anonymizer(net::Network& network, std::string name)
+    : network_(network), name_(std::move(name)) {
+  network_.register_endpoint(name_, [this](const std::string& from,
+                                           BytesView frame) {
+    on_frame(from, frame);
+  });
+}
+
+Anonymizer::~Anonymizer() { network_.unregister_endpoint(name_); }
+
+void Anonymizer::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    if (type == FrameType::kAnonForward) {
+      // {destination, request frame}: rewrite the request's tag and relay.
+      const std::string dest = r.str();
+      const Bytes request = r.bytes();
+      r.expect_done();
+
+      Reader rr(request);
+      const FrameType req_type = read_frame_type(rr);
+      TaggedBody body = read_tagged(rr);
+      const std::uint64_t tag = next_tag_++;
+      pending_[tag] = Pending{from, body.tag};
+      observations_.push_back({from, dest, request.size()});
+      network_.send(name_, dest, tagged_frame(req_type, tag, body.payload));
+      return;
+    }
+    if (type == FrameType::kContentResponse ||
+        type == FrameType::kTokenResponse) {
+      TaggedBody body = read_tagged(r);
+      const auto it = pending_.find(body.tag);
+      if (it == pending_.end()) return;  // stale/unknown tag: drop
+      const Pending origin = it->second;
+      pending_.erase(it);
+      network_.send(name_, origin.requester,
+                    tagged_frame(type, origin.original_tag, body.payload));
+      return;
+    }
+    log_warn("anon") << "unexpected frame type from " << from;
+  } catch (const std::exception& e) {
+    log_warn("anon") << "malformed frame from " << from << ": " << e.what();
+  }
+}
+
+}  // namespace p3s::core

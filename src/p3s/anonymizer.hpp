@@ -1,0 +1,48 @@
+// Anonymization service (paper §4.1): subscribers reach the PBE-TS and RS
+// through this relay so those services cannot bind requests to subscriber
+// identities. The relay rewrites the request's reply tag, remembers
+// tag → requester, and routes the response back. It never inspects request
+// payloads (they are ECIES-encrypted to the destination service).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+
+namespace p3s::core {
+
+class Anonymizer {
+ public:
+  Anonymizer(net::Network& network, std::string name);
+  ~Anonymizer();
+
+  const std::string& name() const { return name_; }
+
+  /// Curious log — what an HBC anonymizer could remember: who asked to
+  /// reach which service (but nothing about content). Exposed for the
+  /// privacy tests.
+  struct Observation {
+    std::string requester;
+    std::string destination;
+    std::size_t size;
+  };
+  const std::vector<Observation>& observations() const { return observations_; }
+
+ private:
+  void on_frame(const std::string& from, BytesView frame);
+
+  net::Network& network_;
+  std::string name_;
+  struct Pending {
+    std::string requester;
+    std::uint64_t original_tag;
+  };
+  std::uint64_t next_tag_ = 1;
+  std::map<std::uint64_t, Pending> pending_;  // rewritten tag -> origin
+  std::vector<Observation> observations_;
+};
+
+}  // namespace p3s::core

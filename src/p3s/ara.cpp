@@ -1,0 +1,56 @@
+#include "p3s/ara.hpp"
+
+namespace p3s::core {
+
+Ara::Ara(pairing::PairingPtr pairing, pbe::MetadataSchema schema, Rng& rng,
+         std::optional<pbe::EpochPolicy> epoch, bool embedded_token_server)
+    : pairing_(pairing),
+      epoch_(std::move(epoch)),
+      schema_(epoch_.has_value() ? epoch_->extend(schema) : std::move(schema)),
+      abe_keys_(abe::cpabe_setup(pairing, rng)),
+      hve_keys_(pbe::hve_setup(pairing, schema_.width(), rng)),
+      cert_keys_(pairing::schnorr_keygen(*pairing, rng)),
+      embedded_token_server_(embedded_token_server) {}
+
+void Ara::set_service_directory(ServiceDirectory services) {
+  services_ = std::move(services);
+}
+
+Certificate Ara::issue_certificate(const std::string& pseudonym,
+                                   Certificate::Role role, Rng& rng) const {
+  Certificate cert;
+  cert.pseudonym = pseudonym;
+  cert.role = role;
+  cert.signature = pairing::schnorr_sign(*pairing_, cert_keys_.secret,
+                                         cert.signed_body(), rng);
+  return cert;
+}
+
+SubscriberCredentials Ara::register_subscriber(
+    const std::string& pseudonym, const std::set<std::string>& attributes,
+    Rng& rng) const {
+  SubscriberCredentials creds{
+      schema_,
+      abe_keys_.pk,
+      abe::cpabe_keygen(abe_keys_, attributes, rng),
+      issue_certificate(pseudonym, Certificate::Role::kSubscriber, rng),
+      services_,
+      epoch_,
+      embedded_token_server_ ? std::optional<pbe::HveKeys>(hve_keys_)
+                             : std::nullopt};
+  return creds;
+}
+
+PublisherCredentials Ara::register_publisher(const std::string& pseudonym,
+                                             Rng& rng) const {
+  PublisherCredentials creds{
+      schema_,
+      abe_keys_.pk,
+      hve_keys_.pk,
+      issue_certificate(pseudonym, Certificate::Role::kPublisher, rng),
+      services_,
+      epoch_};
+  return creds;
+}
+
+}  // namespace p3s::core

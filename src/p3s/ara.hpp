@@ -1,0 +1,62 @@
+// Attribute-Based Access Control and Registration Authority (paper §4.1).
+// The ARA is the trust anchor: it runs CP-ABE setup, provisions the PBE-TS
+// with HVE keys, signs role certificates, and hands publishers/subscribers
+// their credentials at registration. Per the paper's analysis (§6.1) the
+// ARA is assumed trusted and "only interacts with other components during
+// registration" — so registration is modeled as a trusted local exchange
+// rather than a network protocol.
+#pragma once
+
+#include <set>
+#include <string>
+
+#include "p3s/credentials.hpp"
+
+namespace p3s::core {
+
+class Ara {
+ public:
+  /// Performs CP-ABE and HVE setup over the schema's bit width. When
+  /// `epoch` is set the schema is extended with the epoch attribute
+  /// (token revocation, §6.1). When `embedded_token_server` is true,
+  /// subscriber credentials include the HVE master key (§8 alternative
+  /// configuration: PBE-TS embedded in each subscriber).
+  Ara(pairing::PairingPtr pairing, pbe::MetadataSchema schema, Rng& rng,
+      std::optional<pbe::EpochPolicy> epoch = {},
+      bool embedded_token_server = false);
+
+  /// Provisioning: the HVE master keys handed to the PBE-TS at deployment.
+  const pbe::HveKeys& hve_keys() const { return hve_keys_; }
+  /// The certificate-authority public key services use to verify certs.
+  const pairing::Point& certificate_pk() const { return cert_keys_.public_key; }
+  const pbe::MetadataSchema& schema() const { return schema_; }
+  const abe::CpabePublicKey& abe_pk() const { return abe_keys_.pk; }
+
+  /// The ARA learns the service directory when the services are deployed.
+  void set_service_directory(ServiceDirectory services);
+
+  /// Register a subscriber: issues a CP-ABE key for `attributes` and a
+  /// pseudonymous subscriber certificate.
+  SubscriberCredentials register_subscriber(
+      const std::string& pseudonym, const std::set<std::string>& attributes,
+      Rng& rng) const;
+
+  /// Register a publisher: hands out the public parameters.
+  PublisherCredentials register_publisher(const std::string& pseudonym,
+                                          Rng& rng) const;
+
+ private:
+  Certificate issue_certificate(const std::string& pseudonym,
+                                Certificate::Role role, Rng& rng) const;
+
+  pairing::PairingPtr pairing_;
+  std::optional<pbe::EpochPolicy> epoch_;
+  pbe::MetadataSchema schema_;
+  abe::CpabeKeys abe_keys_;
+  pbe::HveKeys hve_keys_;
+  pairing::SchnorrKeyPair cert_keys_;
+  ServiceDirectory services_;
+  bool embedded_token_server_;
+};
+
+}  // namespace p3s::core

@@ -1,0 +1,143 @@
+#include "p3s/credentials.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+namespace p3s::core {
+
+Bytes Certificate::signed_body() const {
+  Writer w;
+  w.str("p3s-cert-v1");
+  w.str(pseudonym);
+  w.u8(static_cast<std::uint8_t>(role));
+  return w.take();
+}
+
+Bytes Certificate::serialize(const pairing::Pairing& pairing) const {
+  Writer w;
+  w.str(pseudonym);
+  w.u8(static_cast<std::uint8_t>(role));
+  w.bytes(signature.serialize(pairing));
+  return w.take();
+}
+
+Certificate Certificate::deserialize(const pairing::Pairing& pairing,
+                                     BytesView data) {
+  Reader r(data);
+  Certificate cert;
+  cert.pseudonym = r.str();
+  const std::uint8_t role = r.u8();
+  if (role != 1 && role != 2) {
+    throw std::invalid_argument("Certificate: bad role");
+  }
+  cert.role = static_cast<Role>(role);
+  cert.signature = pairing::SchnorrSignature::deserialize(pairing, r.bytes());
+  r.expect_done();
+  return cert;
+}
+
+bool Certificate::verify(const pairing::Pairing& pairing,
+                         const pairing::Point& ara_pk) const {
+  return pairing::schnorr_verify(pairing, ara_pk, signed_body(), signature);
+}
+
+Bytes ServiceDirectory::serialize(const pairing::Pairing& pairing) const {
+  Writer w;
+  w.str(ds_name);
+  w.str(rs_name);
+  w.str(pbe_ts_name);
+  w.str(anonymizer_name);
+  w.bytes(pairing.serialize_g1(ds_pk));
+  w.bytes(pairing.serialize_g1(rs_pk));
+  w.bytes(pairing.serialize_g1(pbe_ts_pk));
+  return w.take();
+}
+
+ServiceDirectory ServiceDirectory::deserialize(const pairing::Pairing& pairing,
+                                               BytesView data) {
+  Reader r(data);
+  ServiceDirectory d;
+  d.ds_name = r.str();
+  d.rs_name = r.str();
+  d.pbe_ts_name = r.str();
+  d.anonymizer_name = r.str();
+  d.ds_pk = pairing.deserialize_g1(r.bytes());
+  d.rs_pk = pairing.deserialize_g1(r.bytes());
+  d.pbe_ts_pk = pairing.deserialize_g1(r.bytes());
+  r.expect_done();
+  return d;
+}
+
+namespace {
+template <typename T, typename Fn>
+void write_optional(Writer& w, const std::optional<T>& v, Fn&& ser) {
+  w.u8(v.has_value() ? 1 : 0);
+  if (v.has_value()) w.bytes(ser(*v));
+}
+}  // namespace
+
+Bytes SubscriberCredentials::serialize(pairing::PairingPtr pairing) const {
+  Writer w;
+  w.bytes(schema.serialize());
+  w.bytes(abe_pk.serialize());
+  w.bytes(abe_sk.serialize(*pairing));
+  w.bytes(certificate.serialize(*pairing));
+  w.bytes(services.serialize(*pairing));
+  write_optional(w, epoch, [](const pbe::EpochPolicy& e) { return e.serialize(); });
+  write_optional(w, embedded_hve,
+                 [](const pbe::HveKeys& k) { return k.serialize(); });
+  return w.take();
+}
+
+SubscriberCredentials SubscriberCredentials::deserialize(
+    pairing::PairingPtr pairing, BytesView data) {
+  Reader r(data);
+  const pbe::MetadataSchema schema = pbe::MetadataSchema::deserialize(r.bytes());
+  auto abe_pk = abe::CpabePublicKey::deserialize(pairing, r.bytes());
+  auto abe_sk = abe::CpabeSecretKey::deserialize(*pairing, r.bytes());
+  auto cert = Certificate::deserialize(*pairing, r.bytes());
+  auto services = ServiceDirectory::deserialize(*pairing, r.bytes());
+  SubscriberCredentials creds{schema,
+                              std::move(abe_pk),
+                              std::move(abe_sk),
+                              std::move(cert),
+                              std::move(services),
+                              std::nullopt,
+                              std::nullopt};
+  if (r.u8() != 0) creds.epoch = pbe::EpochPolicy::deserialize(r.bytes());
+  if (r.u8() != 0) {
+    creds.embedded_hve = pbe::HveKeys::deserialize(pairing, r.bytes());
+  }
+  r.expect_done();
+  return creds;
+}
+
+Bytes PublisherCredentials::serialize(pairing::PairingPtr pairing) const {
+  Writer w;
+  w.bytes(schema.serialize());
+  w.bytes(abe_pk.serialize());
+  w.bytes(hve_pk.serialize());
+  w.bytes(certificate.serialize(*pairing));
+  w.bytes(services.serialize(*pairing));
+  write_optional(w, epoch, [](const pbe::EpochPolicy& e) { return e.serialize(); });
+  return w.take();
+}
+
+PublisherCredentials PublisherCredentials::deserialize(
+    pairing::PairingPtr pairing, BytesView data) {
+  Reader r(data);
+  const pbe::MetadataSchema schema = pbe::MetadataSchema::deserialize(r.bytes());
+  auto abe_pk = abe::CpabePublicKey::deserialize(pairing, r.bytes());
+  auto hve_pk = pbe::HvePublicKey::deserialize(pairing, r.bytes());
+  auto cert = Certificate::deserialize(*pairing, r.bytes());
+  auto services = ServiceDirectory::deserialize(*pairing, r.bytes());
+  PublisherCredentials creds{schema,          std::move(abe_pk),
+                             std::move(hve_pk), std::move(cert),
+                             std::move(services), std::nullopt};
+  if (r.u8() != 0) creds.epoch = pbe::EpochPolicy::deserialize(r.bytes());
+  r.expect_done();
+  return creds;
+}
+
+}  // namespace p3s::core

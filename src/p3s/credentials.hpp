@@ -1,0 +1,89 @@
+// Registration artifacts issued by the ARA (paper §4.3, Fig. 2): metadata
+// schema, CP-ABE keying material, PBE public parameters, role certificates,
+// and the contact/public-key directory for the P3S services.
+#pragma once
+
+#include <string>
+
+#include <optional>
+
+#include "abe/cpabe.hpp"
+#include "common/bytes.hpp"
+#include "pairing/schnorr.hpp"
+#include "pbe/epoch.hpp"
+#include "pbe/hve.hpp"
+#include "pbe/schema.hpp"
+
+namespace p3s::core {
+
+/// Role certificate: the ARA attests that the holder of `pseudonym` is a
+/// registered subscriber/publisher. Pseudonymous by design — presenting it
+/// (e.g. to the PBE-TS) proves membership without identifying the client.
+struct Certificate {
+  enum class Role : std::uint8_t { kSubscriber = 1, kPublisher = 2 };
+
+  std::string pseudonym;
+  Role role = Role::kSubscriber;
+  pairing::SchnorrSignature signature;
+
+  /// The byte string the ARA signs.
+  Bytes signed_body() const;
+  Bytes serialize(const pairing::Pairing& pairing) const;
+  static Certificate deserialize(const pairing::Pairing& pairing,
+                                 BytesView data);
+  /// Verify against the ARA's certificate-authority public key.
+  bool verify(const pairing::Pairing& pairing,
+              const pairing::Point& ara_pk) const;
+};
+
+/// Contact information + public keys for the P3S third parties.
+struct ServiceDirectory {
+  std::string ds_name;
+  std::string rs_name;
+  std::string pbe_ts_name;
+  std::string anonymizer_name;  // empty when no anonymization service
+  pairing::Point ds_pk;         // channel-establishment key
+  pairing::Point rs_pk;         // content-request envelope key
+  pairing::Point pbe_ts_pk;     // token-request envelope key
+
+  Bytes serialize(const pairing::Pairing& pairing) const;
+  static ServiceDirectory deserialize(const pairing::Pairing& pairing,
+                                      BytesView data);
+};
+
+/// Everything a subscriber gets at registration (paper Fig. 2, left).
+struct SubscriberCredentials {
+  pbe::MetadataSchema schema;
+  abe::CpabePublicKey abe_pk;   // needed to run CP-ABE decryption
+  abe::CpabeSecretKey abe_sk;   // SKC: attribute key for payload decryption
+  Certificate certificate;
+  ServiceDirectory services;
+  /// Token-revocation epochs (§6.1 mitigation); nullopt = timeless tokens.
+  std::optional<pbe::EpochPolicy> epoch;
+  /// §8 alternative configuration: the PBE-TS embedded in each subscriber —
+  /// interest never leaves the client, at the cost of trusting every
+  /// subscriber with the HVE master key (see the embedded-TS tests for the
+  /// leakage this trades in).
+  std::optional<pbe::HveKeys> embedded_hve;
+
+  /// Wire format for network registration (Fig. 2 over the ARA protocol).
+  Bytes serialize(pairing::PairingPtr pairing) const;
+  static SubscriberCredentials deserialize(pairing::PairingPtr pairing,
+                                           BytesView data);
+};
+
+/// Everything a publisher gets at registration (paper Fig. 2, right).
+struct PublisherCredentials {
+  pbe::MetadataSchema schema;
+  abe::CpabePublicKey abe_pk;   // PKC: CP-ABE public parameters
+  pbe::HvePublicKey hve_pk;     // PBE public parameters for metadata
+  Certificate certificate;
+  ServiceDirectory services;
+  std::optional<pbe::EpochPolicy> epoch;  // publications stamped when set
+
+  Bytes serialize(pairing::PairingPtr pairing) const;
+  static PublisherCredentials deserialize(pairing::PairingPtr pairing,
+                                          BytesView data);
+};
+
+}  // namespace p3s::core

@@ -1,0 +1,129 @@
+#include "p3s/dissemination.hpp"
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+DisseminationServer::DisseminationServer(
+    net::Network& network, std::string name, pairing::PairingPtr pairing,
+    std::string rs_name, Rng& rng,
+    std::optional<pairing::EciesKeyPair> identity)
+    : network_(network),
+      name_(std::move(name)),
+      pairing_(std::move(pairing)),
+      rs_name_(std::move(rs_name)),
+      keys_(identity.has_value() ? std::move(*identity)
+                                 : pairing::ecies_keygen(*pairing_, rng)),
+      rng_(rng) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+DisseminationServer::~DisseminationServer() {
+  network_.unregister_endpoint(name_);
+}
+
+void DisseminationServer::crash_and_restart() {
+  sessions_.clear();
+  subscribers_.clear();
+  publishers_.clear();
+}
+
+void DisseminationServer::send_sealed(const std::string& to, BytesView inner) {
+  const auto it = sessions_.find(to);
+  if (it == sessions_.end()) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
+  w.bytes(it->second.seal(inner, rng_));
+  network_.send(name_, to, w.take());
+}
+
+void DisseminationServer::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+
+    if (type == FrameType::kChannelHello) {
+      const Bytes hello = r.bytes();
+      r.expect_done();
+      auto session = net::SecureSession::accept(*pairing_, keys_.secret, hello);
+      if (!session.has_value()) {
+        log_warn("ds") << "bad channel hello from " << from;
+        return;
+      }
+      sessions_.insert_or_assign(from, std::move(*session));
+      return;
+    }
+
+    if (type == FrameType::kChannelRecord) {
+      const auto sit = sessions_.find(from);
+      if (sit == sessions_.end()) return;  // no session: drop
+      const Bytes record = r.bytes();
+      r.expect_done();
+      const auto inner = sit->second.open(record);
+      if (!inner.has_value()) {
+        log_warn("ds") << "undecryptable record from " << from;
+        return;
+      }
+      handle_inner(from, *inner);
+      return;
+    }
+    log_warn("ds") << "unexpected outer frame from " << from;
+  } catch (const std::exception& e) {
+    log_warn("ds") << "bad frame from " << from << ": " << e.what();
+  }
+}
+
+void DisseminationServer::handle_inner(const std::string& from,
+                                       BytesView inner) {
+  Reader r(inner);
+  const FrameType type = read_frame_type(r);
+  observations_.push_back(
+      {from, inner.size(), static_cast<std::uint8_t>(type)});
+
+  switch (type) {
+    case FrameType::kRegisterSubscriber:
+      subscribers_.insert(from);
+      send_sealed(from, frame(FrameType::kAck));
+      return;
+    case FrameType::kRegisterPublisher:
+      publishers_.insert(from);
+      send_sealed(from, frame(FrameType::kAck));
+      return;
+    case FrameType::kUnregister:
+      subscribers_.erase(from);
+      publishers_.erase(from);
+      sessions_.erase(from);
+      return;
+    case FrameType::kPublishMetadata: {
+      if (!publishers_.contains(from)) return;
+      const Bytes hve_ct = r.bytes();
+      r.expect_done();
+      // Fan out to every registered subscriber; the DS cannot tell who (if
+      // anyone) will match — that is the point.
+      Writer fwd;
+      fwd.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
+      fwd.bytes(hve_ct);
+      for (const std::string& sub : subscribers_) {
+        send_sealed(sub, fwd.data());
+      }
+      return;
+    }
+    case FrameType::kPublishContent: {
+      if (!publishers_.contains(from)) return;
+      ContentBody body = read_content(r);
+      network_.send(name_, rs_name_,
+                    frame(FrameType::kStoreContent, content_body(body)));
+      return;
+    }
+    default:
+      log_warn("ds") << "unexpected inner frame " << static_cast<int>(type)
+                     << " from " << from;
+  }
+}
+
+}  // namespace p3s::core

@@ -1,0 +1,68 @@
+// Dissemination Server (paper §4.1): terminates the secure channels
+// ("TLS tunnels") to publishers and subscribers, fans PBE-encrypted metadata
+// out to every registered subscriber, and forwards CP-ABE-encrypted payloads
+// to the RS. Sees only ciphertext and sizes (curious log asserts this).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "net/network.hpp"
+#include "net/secure.hpp"
+#include "pairing/ecies.hpp"
+
+namespace p3s::core {
+
+class DisseminationServer {
+ public:
+  /// `identity` lets a restarted DS keep its long-term channel key (from
+  /// "disk"); omit it for a fresh deployment.
+  DisseminationServer(net::Network& network, std::string name,
+                      pairing::PairingPtr pairing, std::string rs_name,
+                      Rng& rng,
+                      std::optional<pairing::EciesKeyPair> identity = {});
+  ~DisseminationServer();
+
+  const std::string& name() const { return name_; }
+  const pairing::Point& public_key() const { return keys_.public_key; }
+  const pairing::EciesKeyPair& identity() const { return keys_; }
+
+  std::size_t subscriber_count() const { return subscribers_.size(); }
+  std::size_t publisher_count() const { return publishers_.size(); }
+
+  /// Curious log: per-source frame sizes. The privacy tests check that no
+  /// plaintext metadata/payload/interest ever reaches the DS.
+  struct Observation {
+    std::string from;
+    std::size_t inner_size;
+    std::uint8_t inner_type;
+  };
+  const std::vector<Observation>& observations() const { return observations_; }
+
+  /// Simulate a crash: drop all sessions and registrations (long-term key
+  /// survives, as it would on disk). Clients must re-register (paper §6.1:
+  /// "A restarted DS needs to wait for subscribers and publishers to
+  /// (re)register").
+  void crash_and_restart();
+
+ private:
+  void on_frame(const std::string& from, BytesView frame);
+  void handle_inner(const std::string& from, BytesView inner);
+  void send_sealed(const std::string& to, BytesView inner);
+
+  net::Network& network_;
+  std::string name_;
+  pairing::PairingPtr pairing_;
+  std::string rs_name_;
+  pairing::EciesKeyPair keys_;
+  Rng& rng_;
+  std::map<std::string, net::SecureSession> sessions_;
+  std::set<std::string> subscribers_;
+  std::set<std::string> publishers_;
+  std::vector<Observation> observations_;
+};
+
+}  // namespace p3s::core

@@ -1,0 +1,60 @@
+#include "p3s/messages.hpp"
+
+#include <stdexcept>
+
+namespace p3s::core {
+
+FrameType read_frame_type(Reader& r) {
+  const std::uint8_t t = r.u8();
+  if (t < 1 || t > 18) throw std::invalid_argument("unknown frame type");
+  return static_cast<FrameType>(t);
+}
+
+Bytes frame(FrameType type, BytesView body) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.raw(body);
+  return w.take();
+}
+
+Bytes frame(FrameType type) { return frame(type, {}); }
+
+Bytes tagged_frame(FrameType type, std::uint64_t tag, BytesView payload) {
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(type));
+  w.u64(tag);
+  w.bytes(payload);
+  return w.take();
+}
+
+TaggedBody read_tagged(Reader& r) {
+  TaggedBody body;
+  body.tag = r.u64();
+  body.payload = r.bytes();
+  r.expect_done();
+  return body;
+}
+
+Bytes content_body(const ContentBody& c) {
+  Writer w;
+  w.u8(c.guid_wrapped ? 1 : 0);
+  w.bytes(c.guid_field);
+  w.u64(static_cast<std::uint64_t>(c.ttl_seconds * 1000.0));  // ms precision
+  w.bytes(c.abe_ciphertext);
+  return w.take();
+}
+
+ContentBody read_content(Reader& r) {
+  ContentBody c;
+  c.guid_wrapped = r.u8() != 0;
+  c.guid_field = r.bytes();
+  c.ttl_seconds = static_cast<double>(r.u64()) / 1000.0;
+  c.abe_ciphertext = r.bytes();
+  r.expect_done();
+  if (!c.guid_wrapped && c.guid_field.size() != Guid::kSize) {
+    throw std::invalid_argument("ContentBody: bad clear GUID size");
+  }
+  return c;
+}
+
+}  // namespace p3s::core

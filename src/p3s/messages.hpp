@@ -1,0 +1,79 @@
+// P3S wire protocol frames. Outer frames cross the Network; "inner" frames
+// travel sealed inside the DS secure channel. Anonymizable request frames
+// (to RS / PBE-TS) carry a reply tag the anonymizer rewrites so services can
+// answer without learning the requester (paper §4.3).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/bytes.hpp"
+#include "common/guid.hpp"
+#include "common/serial.hpp"
+
+namespace p3s::core {
+
+enum class FrameType : std::uint8_t {
+  // --- DS channel layer ---
+  kChannelHello = 1,    // client → DS: ECIES session establishment blob
+  kChannelRecord = 2,   // both directions: sealed inner frame
+  // --- inner frames (inside the DS channel) ---
+  kRegisterSubscriber = 3,  // client → DS
+  kRegisterPublisher = 4,   // client → DS
+  kPublishMetadata = 5,     // publisher → DS: HVE-encrypted GUID
+  kPublishContent = 6,      // publisher → DS: (GUID, TTL, CP-ABE payload)
+  kMetadataDelivery = 7,    // DS → subscriber: HVE-encrypted GUID
+  kAck = 8,
+  // --- DS → RS (LAN) ---
+  kStoreContent = 9,        // (GUID, TTL, CP-ABE payload)
+  // --- anonymization service ---
+  kAnonForward = 10,        // client → anon: {destination, request frame}
+  // --- RS request/response ---
+  kContentRequest = 11,     // {tag, ECIES(Ks, GUID)}
+  kContentResponse = 12,    // {tag, AEAD_Ks(status ++ payload)}
+  // --- PBE-TS request/response ---
+  kTokenRequest = 13,       // {tag, ECIES(Ks, certificate, interest)}
+  kTokenResponse = 14,      // {tag, AEAD_Ks(status ++ token)}
+  // --- ARA registration (Fig. 2 over the network) ---
+  kAraRegisterSubscriber = 15,  // {tag, ECIES(Ks, identity)}
+  kAraRegisterPublisher = 16,   // {tag, ECIES(Ks, identity)}
+  kAraResponse = 17,            // {tag, AEAD_Ks(status ++ credentials)}
+  // --- clean departure (inner frame on the DS channel) ---
+  kUnregister = 18,             // client → DS: remove my registration
+};
+
+/// Frame header parse: returns the type and leaves `r` positioned at the
+/// body. Throws on truncated input or unknown type.
+FrameType read_frame_type(Reader& r);
+
+/// {type}{body...} helpers.
+Bytes frame(FrameType type, BytesView body);
+Bytes frame(FrameType type);
+
+// Tagged request/response bodies (anonymizer-compatible).
+struct TaggedBody {
+  std::uint64_t tag = 0;
+  Bytes payload;
+};
+Bytes tagged_frame(FrameType type, std::uint64_t tag, BytesView payload);
+TaggedBody read_tagged(Reader& r);
+
+// kPublishContent / kStoreContent body. The GUID field is either the raw
+// 16-byte GUID (paper Fig. 4, in the clear) or — when the publisher enables
+// the footnote-1 mitigation — an ECIES envelope under the RS public key, so
+// eavesdroppers on the publisher→DS→RS path cannot learn the GUID.
+struct ContentBody {
+  bool guid_wrapped = false;
+  Bytes guid_field;        // raw GUID or ECIES(RS_pk, GUID)
+  double ttl_seconds = 0;  // T_pub: publisher's deletion intent
+  Bytes abe_ciphertext;
+};
+Bytes content_body(const ContentBody& c);
+ContentBody read_content(Reader& r);
+
+// Status bytes inside AEAD-protected responses.
+inline constexpr std::uint8_t kStatusOk = 0;
+inline constexpr std::uint8_t kStatusNotFound = 1;
+inline constexpr std::uint8_t kStatusRejected = 2;
+
+}  // namespace p3s::core

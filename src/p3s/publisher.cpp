@@ -1,0 +1,118 @@
+#include "p3s/publisher.hpp"
+
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+Publisher::Publisher(net::Network& network, std::string name,
+                     PublisherCredentials credentials, Rng& rng)
+    : network_(network),
+      name_(std::move(name)),
+      creds_(std::move(credentials)),
+      rng_(rng) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+Publisher::~Publisher() { network_.unregister_endpoint(name_); }
+
+void Publisher::send_sealed(BytesView inner) {
+  if (!session_.has_value()) throw std::logic_error("Publisher: not connected");
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
+  w.bytes(session_->seal(inner, rng_));
+  network_.send(name_, creds_.services.ds_name, w.take());
+}
+
+void Publisher::connect() {
+  const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
+  Bytes hello;
+  session_ = net::SecureSession::initiate(pairing, creds_.services.ds_pk, rng_,
+                                          hello);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kChannelHello));
+  w.bytes(hello);
+  network_.send(name_, creds_.services.ds_name, w.take());
+  send_sealed(frame(FrameType::kRegisterPublisher));
+}
+
+void Publisher::disconnect() {
+  if (!session_.has_value()) return;
+  send_sealed(frame(FrameType::kUnregister));
+  session_.reset();
+  connected_ = false;
+}
+
+void Publisher::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    if (type != FrameType::kChannelRecord || !session_.has_value()) return;
+    const Bytes record = r.bytes();
+    r.expect_done();
+    const auto inner = session_->open(record);
+    if (!inner.has_value()) return;
+    Reader ir(*inner);
+    if (read_frame_type(ir) == FrameType::kAck) connected_ = true;
+  } catch (const std::exception& e) {
+    log_warn("pub:" + name_) << "bad frame from " << from << ": " << e.what();
+  }
+}
+
+Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
+                        const abe::PolicyNode& policy, double ttl_seconds) {
+  if (!connected_) throw std::logic_error("Publisher: not connected");
+
+  const Guid guid = Guid::random(rng_);
+
+  // Token-revocation epochs (§6.1 mitigation): stamp the metadata with the
+  // epoch active now, so only current-epoch tokens match it.
+  pbe::Metadata stamped = metadata;
+  if (creds_.epoch.has_value()) {
+    stamped = creds_.epoch->stamp(std::move(stamped), network_.now());
+  }
+
+  // CP-ABE-encrypt the 2-tuple (GUID, payload) under the policy and send
+  // (GUID, ciphertext, TTL) for storage at the RS. Content is submitted
+  // before the metadata broadcast so that a subscriber whose match races
+  // the store never misses (the paper's model takes max(t_p, t_b) for the
+  // same reason).
+  Writer tuple;
+  tuple.raw(guid.to_bytes());
+  tuple.bytes(payload);
+  const Bytes abe_ct =
+      abe::cpabe_encrypt_bytes(creds_.abe_pk, tuple.data(), policy, rng_);
+  ContentBody body;
+  body.guid_wrapped = super_encrypt_guid_;
+  body.guid_field =
+      super_encrypt_guid_
+          ? pairing::ecies_encrypt(*creds_.abe_pk.pairing,
+                                   creds_.services.rs_pk, guid.to_bytes(), rng_)
+          : guid.to_bytes();
+  body.ttl_seconds = ttl_seconds;
+  body.abe_ciphertext = abe_ct;
+  Writer content_frame;
+  content_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishContent));
+  content_frame.raw(content_body(body));
+  send_sealed(content_frame.data());
+
+  // PBE-encrypt the GUID under the metadata vector and send it to the DS
+  // for dissemination to all subscribers (paper Fig. 4).
+  const pbe::BitVector bits = creds_.schema.encode_metadata(stamped);
+  const Bytes hve_ct =
+      pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng_);
+  Writer meta_frame;
+  meta_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
+  meta_frame.bytes(hve_ct);
+  send_sealed(meta_frame.data());
+
+  return guid;
+}
+
+}  // namespace p3s::core

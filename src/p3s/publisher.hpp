@@ -1,0 +1,56 @@
+// Publisher client library (paper §4.3, Fig. 4). The publisher never learns
+// who subscribes or whether anything matched: it PBE-encrypts the GUID under
+// the item's metadata, CP-ABE-encrypts (GUID, payload) under its access
+// policy, and hands both to the DS over the secure channel.
+#pragma once
+
+#include <string>
+
+#include "common/guid.hpp"
+#include "net/network.hpp"
+#include "net/secure.hpp"
+#include "p3s/credentials.hpp"
+
+namespace p3s::core {
+
+class Publisher {
+ public:
+  Publisher(net::Network& network, std::string name,
+            PublisherCredentials credentials, Rng& rng);
+  ~Publisher();
+
+  /// Establish the DS channel and register as a publisher.
+  void connect();
+  bool connected() const { return connected_; }
+  /// Clean departure: deregister from the DS and drop the channel.
+  void disconnect();
+
+  /// Publish one item. `ttl_seconds` is the publisher's deletion intent
+  /// (T_pub). Returns the fresh GUID. Throws std::logic_error when not
+  /// connected, std::invalid_argument on metadata/policy errors. When the
+  /// credentials carry an epoch policy, the metadata is stamped with the
+  /// current epoch automatically.
+  Guid publish(const pbe::Metadata& metadata, BytesView payload,
+               const abe::PolicyNode& policy, double ttl_seconds = 3600.0);
+
+  /// Footnote-1 mitigation: super-encrypt the GUID in the content
+  /// submission under the RS public key so eavesdroppers (and the DS)
+  /// cannot learn it. Off by default to match the base paper protocol.
+  void set_guid_super_encryption(bool on) { super_encrypt_guid_ = on; }
+
+  const std::string& name() const { return name_; }
+
+ private:
+  void on_frame(const std::string& from, BytesView frame);
+  void send_sealed(BytesView inner);
+
+  net::Network& network_;
+  std::string name_;
+  PublisherCredentials creds_;
+  Rng& rng_;
+  std::optional<net::SecureSession> session_;
+  bool connected_ = false;
+  bool super_encrypt_guid_ = false;
+};
+
+}  // namespace p3s::core

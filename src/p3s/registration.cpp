@@ -1,0 +1,163 @@
+#include "p3s/registration.hpp"
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+AraServer::AraServer(net::Network& network, std::string name, const Ara& ara,
+                     Rng& rng)
+    : network_(network),
+      name_(std::move(name)),
+      ara_(ara),
+      keys_(pairing::ecies_keygen(*ara.abe_pk().pairing, rng)),
+      rng_(rng) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+AraServer::~AraServer() { network_.unregister_endpoint(name_); }
+
+void AraServer::enroll_subscriber(const std::string& identity,
+                                  std::set<std::string> attributes) {
+  subscriber_roster_[identity] = std::move(attributes);
+}
+
+void AraServer::enroll_publisher(const std::string& identity) {
+  publisher_roster_.insert(identity);
+}
+
+void AraServer::on_frame(const std::string& from, BytesView data) {
+  try {
+    const pairing::PairingPtr pairing = ara_.abe_pk().pairing;
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    if (type != FrameType::kAraRegisterSubscriber &&
+        type != FrameType::kAraRegisterPublisher) {
+      log_warn("ara") << "unexpected frame from " << from;
+      return;
+    }
+    const TaggedBody body = read_tagged(r);
+    const auto plain =
+        pairing::ecies_decrypt(*pairing, keys_.secret, body.payload);
+    if (!plain.has_value()) {
+      ++rejected_;
+      return;
+    }
+    Reader pr(*plain);
+    const Bytes ks = pr.bytes();
+    const std::string identity = pr.str();
+    pr.expect_done();
+
+    auto respond = [&](std::uint8_t status, BytesView payload) {
+      Writer inner;
+      inner.u8(status);
+      inner.bytes(payload);
+      const Bytes sealed =
+          crypto::aead_encrypt(ks, inner.data(), str_to_bytes("ara-resp"), rng_)
+              .serialize();
+      network_.send(name_, from,
+                    tagged_frame(FrameType::kAraResponse, body.tag, sealed));
+    };
+
+    if (type == FrameType::kAraRegisterSubscriber) {
+      const auto it = subscriber_roster_.find(identity);
+      if (it == subscriber_roster_.end()) {
+        ++rejected_;
+        respond(kStatusRejected, {});
+        return;
+      }
+      const SubscriberCredentials creds =
+          ara_.register_subscriber(identity, it->second, rng_);
+      respond(kStatusOk, creds.serialize(pairing));
+    } else {
+      if (!publisher_roster_.contains(identity)) {
+        ++rejected_;
+        respond(kStatusRejected, {});
+        return;
+      }
+      const PublisherCredentials creds = ara_.register_publisher(identity, rng_);
+      respond(kStatusOk, creds.serialize(pairing));
+    }
+  } catch (const std::exception& e) {
+    ++rejected_;
+    log_warn("ara") << "bad registration from " << from << ": " << e.what();
+  }
+}
+
+namespace {
+// Drive one request/response exchange on a synchronous network: register a
+// temporary endpoint, send, capture the response delivered inline.
+std::optional<Bytes> exchange(net::Network& network,
+                              const std::string& client_endpoint,
+                              const std::string& ara_name,
+                              const pairing::Pairing& pairing,
+                              const pairing::Point& ara_pk, FrameType type,
+                              const std::string& identity, Rng& rng) {
+  const Bytes ks = rng.bytes(32);
+  Writer plain;
+  plain.bytes(ks);
+  plain.str(identity);
+  const Bytes blob = pairing::ecies_encrypt(pairing, ara_pk, plain.data(), rng);
+
+  std::optional<Bytes> result;
+  const std::string temp = client_endpoint + ".reg";
+  network.register_endpoint(temp, [&](const std::string&, BytesView data) {
+    try {
+      Reader r(data);
+      if (read_frame_type(r) != FrameType::kAraResponse) return;
+      const TaggedBody body = read_tagged(r);
+      const auto inner = crypto::aead_decrypt(
+          ks, crypto::AeadCiphertext::deserialize(body.payload),
+          str_to_bytes("ara-resp"));
+      if (!inner.has_value()) return;
+      Reader ir(*inner);
+      const std::uint8_t status = ir.u8();
+      Bytes creds = ir.bytes();
+      ir.expect_done();
+      if (status == kStatusOk) result = std::move(creds);
+    } catch (const std::exception&) {
+      // leave result empty
+    }
+  });
+  network.send(temp, ara_name, tagged_frame(type, 1, blob));
+  network.unregister_endpoint(temp);
+  return result;
+}
+}  // namespace
+
+std::optional<SubscriberCredentials> register_subscriber_remote(
+    net::Network& network, const std::string& client_endpoint,
+    const std::string& ara_name, const pairing::Point& ara_pk,
+    pairing::PairingPtr pairing, const std::string& identity, Rng& rng) {
+  const auto blob =
+      exchange(network, client_endpoint, ara_name, *pairing, ara_pk,
+               FrameType::kAraRegisterSubscriber, identity, rng);
+  if (!blob.has_value()) return std::nullopt;
+  try {
+    return SubscriberCredentials::deserialize(std::move(pairing), *blob);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+std::optional<PublisherCredentials> register_publisher_remote(
+    net::Network& network, const std::string& client_endpoint,
+    const std::string& ara_name, const pairing::Point& ara_pk,
+    pairing::PairingPtr pairing, const std::string& identity, Rng& rng) {
+  const auto blob =
+      exchange(network, client_endpoint, ara_name, *pairing, ara_pk,
+               FrameType::kAraRegisterPublisher, identity, rng);
+  if (!blob.has_value()) return std::nullopt;
+  try {
+    return PublisherCredentials::deserialize(std::move(pairing), *blob);
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p3s::core

@@ -1,0 +1,65 @@
+// Network registration protocol (paper Fig. 2): clients contact the ARA
+// over the wire, authenticate by identity (the ARA holds a provisioned
+// roster of who gets which CP-ABE attributes — attribute assignment is an
+// out-of-band administrative decision, never client-chosen), and receive
+// their credentials encrypted under a request-scoped symmetric key Ks.
+//
+// The ARA public key is the deployment's trust anchor, assumed to be known
+// a priori (like a CA certificate).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+
+#include "net/network.hpp"
+#include "p3s/ara.hpp"
+#include "pairing/ecies.hpp"
+
+namespace p3s::core {
+
+/// The ARA's network front end.
+class AraServer {
+ public:
+  AraServer(net::Network& network, std::string name, const Ara& ara, Rng& rng);
+  ~AraServer();
+
+  const std::string& name() const { return name_; }
+  const pairing::Point& public_key() const { return keys_.public_key; }
+
+  /// Provision the roster: which identities may register, and with which
+  /// CP-ABE attributes (subscribers only).
+  void enroll_subscriber(const std::string& identity,
+                         std::set<std::string> attributes);
+  void enroll_publisher(const std::string& identity);
+
+  std::size_t rejected_requests() const { return rejected_; }
+
+ private:
+  void on_frame(const std::string& from, BytesView frame);
+
+  net::Network& network_;
+  std::string name_;
+  const Ara& ara_;
+  pairing::EciesKeyPair keys_;
+  Rng& rng_;
+  std::map<std::string, std::set<std::string>> subscriber_roster_;
+  std::set<std::string> publisher_roster_;
+  std::size_t rejected_ = 0;
+};
+
+/// Client-side registration calls. These drive the Fig. 2 exchange on a
+/// synchronous network (DirectNetwork); they return nullopt when the ARA
+/// rejects the identity or the exchange fails.
+std::optional<SubscriberCredentials> register_subscriber_remote(
+    net::Network& network, const std::string& client_endpoint,
+    const std::string& ara_name, const pairing::Point& ara_pk,
+    pairing::PairingPtr pairing, const std::string& identity, Rng& rng);
+
+std::optional<PublisherCredentials> register_publisher_remote(
+    net::Network& network, const std::string& client_endpoint,
+    const std::string& ara_name, const pairing::Point& ara_pk,
+    pairing::PairingPtr pairing, const std::string& identity, Rng& rng);
+
+}  // namespace p3s::core

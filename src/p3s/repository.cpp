@@ -1,0 +1,152 @@
+#include "p3s/repository.hpp"
+
+#include <fstream>
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+RepositoryServer::RepositoryServer(net::Network& network, std::string name,
+                                   pairing::PairingPtr pairing, Rng& rng,
+                                   double grace_seconds)
+    : network_(network),
+      name_(std::move(name)),
+      pairing_(std::move(pairing)),
+      keys_(pairing::ecies_keygen(*pairing_, rng)),
+      rng_(rng),
+      grace_seconds_(grace_seconds) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+RepositoryServer::~RepositoryServer() { network_.unregister_endpoint(name_); }
+
+std::size_t RepositoryServer::garbage_collect() {
+  const double now = network_.now();
+  std::size_t collected = 0;
+  for (auto it = store_.begin(); it != store_.end();) {
+    if (it->second.expires_at <= now) {
+      it = store_.erase(it);
+      ++collected;
+    } else {
+      ++it;
+    }
+  }
+  return collected;
+}
+
+void RepositoryServer::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    sources_.push_back(from);
+
+    if (type == FrameType::kStoreContent) {
+      ContentBody body = read_content(r);
+      Guid guid;
+      if (body.guid_wrapped) {
+        // Footnote-1 mitigation: the GUID arrives under our public key.
+        const auto plain =
+            pairing::ecies_decrypt(*pairing_, keys_.secret, body.guid_field);
+        if (!plain.has_value() || plain->size() != Guid::kSize) {
+          log_warn("rs") << "undecryptable wrapped GUID from " << from;
+          return;
+        }
+        guid = Guid::from_bytes(*plain);
+      } else {
+        guid = Guid::from_bytes(body.guid_field);
+      }
+      store_[guid] = Item{std::move(body.abe_ciphertext),
+                          network_.now() + body.ttl_seconds + grace_seconds_};
+      return;
+    }
+
+    if (type == FrameType::kContentRequest) {
+      const TaggedBody body = read_tagged(r);
+      const auto plain =
+          pairing::ecies_decrypt(*pairing_, keys_.secret, body.payload);
+      if (!plain.has_value()) return;
+      Reader pr(*plain);
+      const Bytes ks = pr.bytes();
+      const Guid guid = Guid::from_bytes(pr.raw(Guid::kSize));
+      pr.expect_done();
+
+      ++request_counts_[guid];
+
+      Writer inner;
+      const auto it = store_.find(guid);
+      if (it == store_.end() || it->second.expires_at <= network_.now()) {
+        inner.u8(kStatusNotFound);
+        inner.bytes({});
+      } else {
+        inner.u8(kStatusOk);
+        inner.bytes(it->second.abe_ciphertext);
+      }
+      // Super-encrypted under the requester's Ks so eavesdroppers cannot
+      // tell whether two subscribers fetched the same payload (paper §6.1).
+      const Bytes sealed =
+          crypto::aead_encrypt(ks, inner.data(), str_to_bytes("content-resp"),
+                               rng_)
+              .serialize();
+      network_.send(name_, from,
+                    tagged_frame(FrameType::kContentResponse, body.tag, sealed));
+      return;
+    }
+    log_warn("rs") << "unexpected frame type from " << from;
+  } catch (const std::exception& e) {
+    log_warn("rs") << "bad frame from " << from << ": " << e.what();
+  }
+}
+
+Bytes RepositoryServer::snapshot() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(store_.size()));
+  for (const auto& [guid, item] : store_) {
+    w.raw(guid.to_bytes());
+    w.u64(static_cast<std::uint64_t>(item.expires_at * 1000.0));
+    w.bytes(item.abe_ciphertext);
+  }
+  return w.take();
+}
+
+void RepositoryServer::save_to_file(const std::string& path) const {
+  const Bytes snap = snapshot();
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("RS: cannot open '" + path + "' for write");
+  out.write(reinterpret_cast<const char*>(snap.data()),
+            static_cast<std::streamsize>(snap.size()));
+  if (!out) throw std::runtime_error("RS: write to '" + path + "' failed");
+}
+
+void RepositoryServer::load_from_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) throw std::runtime_error("RS: cannot open '" + path + "' for read");
+  const std::streamsize size = in.tellg();
+  in.seekg(0);
+  Bytes snap(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(snap.data()), size);
+  if (!in) throw std::runtime_error("RS: read from '" + path + "' failed");
+  restore(snap);
+}
+
+void RepositoryServer::restore(BytesView snapshot) {
+  Reader r(snapshot);
+  const std::uint32_t n = r.u32();
+  std::map<Guid, Item> restored;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const Guid guid = Guid::from_bytes(r.raw(Guid::kSize));
+    Item item;
+    item.expires_at = static_cast<double>(r.u64()) / 1000.0;
+    item.abe_ciphertext = r.bytes();
+    restored.emplace(guid, std::move(item));
+  }
+  r.expect_done();
+  store_ = std::move(restored);
+}
+
+}  // namespace p3s::core

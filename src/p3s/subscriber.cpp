@@ -1,0 +1,262 @@
+#include "p3s/subscriber.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+Subscriber::Subscriber(net::Network& network, std::string name,
+                       SubscriberCredentials credentials, Rng& rng,
+                       bool use_anonymizer)
+    : network_(network),
+      name_(std::move(name)),
+      creds_(std::move(credentials)),
+      rng_(rng),
+      use_anonymizer_(use_anonymizer &&
+                      !creds_.services.anonymizer_name.empty()) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+Subscriber::~Subscriber() { network_.unregister_endpoint(name_); }
+
+void Subscriber::send_sealed(BytesView inner) {
+  if (!session_.has_value()) throw std::logic_error("Subscriber: not connected");
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
+  w.bytes(session_->seal(inner, rng_));
+  network_.send(name_, creds_.services.ds_name, w.take());
+}
+
+void Subscriber::connect() {
+  const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
+  Bytes hello;
+  session_ = net::SecureSession::initiate(pairing, creds_.services.ds_pk, rng_,
+                                          hello);
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kChannelHello));
+  w.bytes(hello);
+  network_.send(name_, creds_.services.ds_name, w.take());
+  send_sealed(frame(FrameType::kRegisterSubscriber));
+}
+
+void Subscriber::reconnect() { connect(); }
+
+bool Subscriber::unsubscribe(const pbe::Interest& interest) {
+  const auto it = std::find(interests_.begin(), interests_.end(), interest);
+  if (it == interests_.end()) return false;
+  interests_.erase(it);
+  // Tokens are not labeled with their interest (unlinkability), so rebuild
+  // the token set from the remaining interests. Epoch-restricted tokens are
+  // re-requested for the current epoch as a side effect.
+  refresh_tokens();
+  return true;
+}
+
+void Subscriber::disconnect() {
+  if (!session_.has_value()) return;
+  send_sealed(frame(FrameType::kUnregister));
+  session_.reset();
+  connected_ = false;
+}
+
+void Subscriber::refresh_tokens() {
+  tokens_.clear();
+  for (const pbe::Interest& interest : interests_) request_token(interest);
+}
+
+void Subscriber::subscribe(const pbe::Interest& interest) {
+  // Validate locally first so schema errors throw at the call site.
+  (void)creds_.schema.encode_interest(interest);
+  interests_.push_back(interest);
+  request_token(interest);
+}
+
+void Subscriber::send_service_request(const std::string& service,
+                                      Bytes request) {
+  if (use_anonymizer_) {
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(FrameType::kAnonForward));
+    w.str(service);
+    w.bytes(request);
+    network_.send(name_, creds_.services.anonymizer_name, w.take());
+  } else {
+    network_.send(name_, service, std::move(request));
+  }
+}
+
+void Subscriber::request_token(const pbe::Interest& interest) {
+  const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
+
+  // Token-revocation epochs (§6.1): restrict the predicate to the current
+  // epoch so the resulting token expires when the epoch rolls over.
+  pbe::Interest effective = interest;
+  if (creds_.epoch.has_value()) {
+    effective = creds_.epoch->restrict(std::move(effective), network_.now());
+  }
+
+  // §8 alternative configuration: PBE-TS embedded in the subscriber — the
+  // predicate never leaves this process.
+  if (creds_.embedded_hve.has_value()) {
+    tokens_.push_back(pbe::hve_gen_token(
+        *creds_.embedded_hve, creds_.schema.encode_interest(effective), rng_));
+    return;
+  }
+
+  // Fig. 3: 3-tuple (Ks, subscriber certificate, plaintext predicate)
+  // under the PBE-TS public key.
+  const Bytes ks = rng_.bytes(32);
+  Writer plain;
+  plain.bytes(ks);
+  plain.bytes(creds_.certificate.serialize(pairing));
+  plain.bytes(pbe::serialize_string_map(effective));
+  const Bytes blob = pairing::ecies_encrypt(
+      pairing, creds_.services.pbe_ts_pk, plain.data(), rng_);
+
+  const std::uint64_t tag = next_tag_++;
+  pending_token_ks_[tag] = ks;
+  send_service_request(creds_.services.pbe_ts_name,
+                       tagged_frame(FrameType::kTokenRequest, tag, blob));
+}
+
+void Subscriber::request_content(const Guid& guid) {
+  if (!requested_guids_.insert(guid).second) return;  // already in flight
+  const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
+  // Fig. 4: 2-tuple (Ks, GUID) under the RS public key.
+  const Bytes ks = rng_.bytes(32);
+  Writer plain;
+  plain.bytes(ks);
+  plain.raw(guid.to_bytes());
+  const Bytes blob = pairing::ecies_encrypt(pairing, creds_.services.rs_pk,
+                                            plain.data(), rng_);
+  const std::uint64_t tag = next_tag_++;
+  pending_content_ks_[tag] = ks;
+  send_service_request(creds_.services.rs_name,
+                       tagged_frame(FrameType::kContentRequest, tag, blob));
+}
+
+void Subscriber::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    switch (type) {
+      case FrameType::kChannelRecord: {
+        if (!session_.has_value()) return;
+        const Bytes record = r.bytes();
+        r.expect_done();
+        const auto inner = session_->open(record);
+        if (inner.has_value()) handle_inner(*inner);
+        return;
+      }
+      case FrameType::kTokenResponse:
+        handle_token_response(data.subspan(1));
+        return;
+      case FrameType::kContentResponse:
+        handle_content_response(data.subspan(1));
+        return;
+      default:
+        return;
+    }
+  } catch (const std::exception& e) {
+    log_warn("sub:" + name_) << "bad frame from " << from << ": " << e.what();
+  }
+}
+
+void Subscriber::handle_inner(BytesView inner) {
+  Reader r(inner);
+  const FrameType type = read_frame_type(r);
+  if (type == FrameType::kAck) {
+    connected_ = true;
+    return;
+  }
+  if (type == FrameType::kMetadataDelivery) {
+    const Bytes hve_ct = r.bytes();
+    r.expect_done();
+    handle_metadata(hve_ct);
+  }
+}
+
+void Subscriber::handle_metadata(BytesView hve_ct) {
+  ++metadata_received_;
+  const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
+  // Local matching on encrypted metadata: try every token. A successful
+  // KEM decryption reveals exactly the GUID — nothing else about the
+  // metadata (attribute hiding).
+  for (const pbe::HveToken& token : tokens_) {
+    const auto guid_bytes = pbe::hve_query_bytes(pairing, token, hve_ct);
+    if (guid_bytes.has_value() && guid_bytes->size() == Guid::kSize) {
+      ++matches_;
+      request_content(Guid::from_bytes(*guid_bytes));
+      return;  // one match is enough to fetch
+    }
+  }
+}
+
+void Subscriber::handle_token_response(BytesView body) {
+  Reader r(body);
+  const TaggedBody tagged = read_tagged(r);
+  const auto it = pending_token_ks_.find(tagged.tag);
+  if (it == pending_token_ks_.end()) return;
+  const Bytes ks = it->second;
+  pending_token_ks_.erase(it);
+
+  const auto plain = crypto::aead_decrypt(
+      ks, crypto::AeadCiphertext::deserialize(tagged.payload),
+      str_to_bytes("token-resp"));
+  if (!plain.has_value()) return;
+  Reader pr(*plain);
+  const std::uint8_t status = pr.u8();
+  const Bytes token_bytes = pr.bytes();
+  pr.expect_done();
+  if (status != kStatusOk) {
+    ++token_rejections_;
+    return;
+  }
+  tokens_.push_back(
+      pbe::HveToken::deserialize(*creds_.abe_pk.pairing, token_bytes));
+}
+
+void Subscriber::handle_content_response(BytesView body) {
+  Reader r(body);
+  const TaggedBody tagged = read_tagged(r);
+  const auto it = pending_content_ks_.find(tagged.tag);
+  if (it == pending_content_ks_.end()) return;
+  const Bytes ks = it->second;
+  pending_content_ks_.erase(it);
+
+  const auto plain = crypto::aead_decrypt(
+      ks, crypto::AeadCiphertext::deserialize(tagged.payload),
+      str_to_bytes("content-resp"));
+  if (!plain.has_value()) return;
+  Reader pr(*plain);
+  const std::uint8_t status = pr.u8();
+  const Bytes abe_ct = pr.bytes();
+  pr.expect_done();
+  if (status != kStatusOk) {
+    ++fetch_failures_;
+    return;
+  }
+
+  const auto tuple =
+      abe::cpabe_decrypt_bytes(creds_.abe_pk, creds_.abe_sk, abe_ct);
+  if (!tuple.has_value()) {
+    ++undecryptable_;
+    return;
+  }
+  Reader tr(*tuple);
+  Delivery delivery;
+  delivery.guid = Guid::from_bytes(tr.raw(Guid::kSize));
+  delivery.payload = tr.bytes();
+  tr.expect_done();
+  deliveries_.push_back(delivery);
+  if (handler_) handler_(deliveries_.back());
+}
+
+}  // namespace p3s::core

@@ -1,0 +1,119 @@
+// Subscriber client library (paper §4.3, Figs. 3 & 4). The subscriber:
+//  1. obtains PBE tokens for its interests from the PBE-TS via the
+//     anonymization service (the PBE-TS sees the plaintext predicate but not
+//     who asked);
+//  2. matches every PBE-encrypted metadata broadcast LOCALLY against its
+//     tokens — interest never leaves the subscriber;
+//  3. on a match, fetches the CP-ABE payload from the RS anonymously under a
+//     fresh symmetric key Ks;
+//  4. decrypts the payload iff its ARA-issued attributes satisfy the
+//     publisher's policy.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/guid.hpp"
+#include "net/network.hpp"
+#include "net/secure.hpp"
+#include "p3s/credentials.hpp"
+
+namespace p3s::core {
+
+class Subscriber {
+ public:
+  struct Delivery {
+    Guid guid;
+    Bytes payload;
+  };
+  using DeliveryHandler = std::function<void(const Delivery&)>;
+
+  /// `use_anonymizer` false = direct RS/PBE-TS contact (paper: privacy still
+  /// holds except the services learn request-to-identity binding).
+  Subscriber(net::Network& network, std::string name,
+             SubscriberCredentials credentials, Rng& rng,
+             bool use_anonymizer = true);
+  ~Subscriber();
+
+  /// Establish the DS channel and register as a subscriber.
+  void connect();
+  bool connected() const { return connected_; }
+
+  /// Register an interest: requests a PBE token for it. The predicate must
+  /// constrain at least one attribute (all-wildcard rejected by schema).
+  void subscribe(const pbe::Interest& interest);
+
+  /// Drop an interest: its token is discarded locally so matching stops
+  /// immediately. Interest privacy means the infrastructure is never told —
+  /// the DS keeps broadcasting (it broadcasts to everyone regardless).
+  /// Returns false when no such interest was registered.
+  bool unsubscribe(const pbe::Interest& interest);
+
+  /// Clean departure: tell the DS to drop the registration and channel.
+  /// Tokens are kept so a later connect() + subscribe history can resume.
+  void disconnect();
+
+  /// After a DS restart: re-establish the channel and registration; after a
+  /// subscriber restart: also re-request tokens for all interests
+  /// (paper §6.1 restart discussion).
+  void reconnect();
+  void refresh_tokens();
+
+  void set_delivery_handler(DeliveryHandler handler) {
+    handler_ = std::move(handler);
+  }
+
+  // --- observable state / curious log ------------------------------------
+  const std::vector<Delivery>& deliveries() const { return deliveries_; }
+  std::size_t token_count() const { return tokens_.size(); }
+  std::size_t metadata_received() const { return metadata_received_; }
+  std::size_t match_count() const { return matches_; }
+  /// Matched but the RS no longer had the item (TTL deletion / slow client).
+  std::size_t fetch_failures() const { return fetch_failures_; }
+  /// Fetched but CP-ABE attributes did not satisfy the policy.
+  std::size_t undecryptable_payloads() const { return undecryptable_; }
+  std::size_t token_rejections() const { return token_rejections_; }
+  const std::string& name() const { return name_; }
+  const SubscriberCredentials& credentials() const { return creds_; }
+
+ private:
+  void on_frame(const std::string& from, BytesView frame);
+  void handle_inner(BytesView inner);
+  void handle_metadata(BytesView hve_ct);
+  void handle_token_response(BytesView body);
+  void handle_content_response(BytesView body);
+  void request_token(const pbe::Interest& interest);
+  void request_content(const Guid& guid);
+  void send_sealed(BytesView inner);
+  void send_service_request(const std::string& service, Bytes request);
+
+  net::Network& network_;
+  std::string name_;
+  SubscriberCredentials creds_;
+  Rng& rng_;
+  bool use_anonymizer_;
+
+  std::optional<net::SecureSession> session_;
+  bool connected_ = false;
+  std::vector<pbe::Interest> interests_;
+  std::vector<pbe::HveToken> tokens_;
+  std::uint64_t next_tag_ = 1;
+  std::map<std::uint64_t, Bytes> pending_token_ks_;
+  std::map<std::uint64_t, Bytes> pending_content_ks_;
+  std::set<Guid> requested_guids_;
+
+  DeliveryHandler handler_;
+  std::vector<Delivery> deliveries_;
+  std::size_t metadata_received_ = 0;
+  std::size_t matches_ = 0;
+  std::size_t fetch_failures_ = 0;
+  std::size_t undecryptable_ = 0;
+  std::size_t token_rejections_ = 0;
+};
+
+}  // namespace p3s::core

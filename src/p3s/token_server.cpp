@@ -1,0 +1,87 @@
+#include "p3s/token_server.hpp"
+
+#include "common/log.hpp"
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+
+PbeTokenServer::PbeTokenServer(net::Network& network, std::string name,
+                               pairing::PairingPtr pairing,
+                               pbe::HveKeys hve_keys,
+                               pbe::MetadataSchema schema,
+                               pairing::Point ara_cert_pk, Rng& rng)
+    : network_(network),
+      name_(std::move(name)),
+      pairing_(std::move(pairing)),
+      hve_keys_(std::move(hve_keys)),
+      schema_(std::move(schema)),
+      ara_cert_pk_(std::move(ara_cert_pk)),
+      keys_(pairing::ecies_keygen(*pairing_, rng)),
+      rng_(rng) {
+  network_.register_endpoint(
+      name_, [this](const std::string& from, BytesView frame) {
+        on_frame(from, frame);
+      });
+}
+
+PbeTokenServer::~PbeTokenServer() { network_.unregister_endpoint(name_); }
+
+void PbeTokenServer::on_frame(const std::string& from, BytesView data) {
+  try {
+    Reader r(data);
+    const FrameType type = read_frame_type(r);
+    if (type != FrameType::kTokenRequest) {
+      log_warn("pbe-ts") << "unexpected frame from " << from;
+      return;
+    }
+    const TaggedBody body = read_tagged(r);
+
+    const auto plain = pairing::ecies_decrypt(*pairing_, keys_.secret,
+                                              body.payload);
+    if (!plain.has_value()) {
+      ++rejected_;
+      return;  // cannot even recover Ks: silently drop
+    }
+    Reader pr(*plain);
+    const Bytes ks = pr.bytes();
+    const Bytes cert_bytes = pr.bytes();
+    const Bytes interest_bytes = pr.bytes();
+    pr.expect_done();
+
+    auto respond = [&](std::uint8_t status, BytesView payload) {
+      Writer inner;
+      inner.u8(status);
+      inner.bytes(payload);
+      const Bytes sealed =
+          crypto::aead_encrypt(ks, inner.data(), str_to_bytes("token-resp"),
+                               rng_)
+              .serialize();
+      network_.send(name_, from,
+                    tagged_frame(FrameType::kTokenResponse, body.tag, sealed));
+    };
+
+    const Certificate cert = Certificate::deserialize(*pairing_, cert_bytes);
+    if (cert.role != Certificate::Role::kSubscriber ||
+        !cert.verify(*pairing_, ara_cert_pk_)) {
+      ++rejected_;
+      respond(kStatusRejected, {});
+      return;
+    }
+
+    const pbe::Interest interest = pbe::deserialize_string_map(interest_bytes);
+    // The HBC PBE-TS remembers everything it sees (paper §6.1): the
+    // plaintext predicate, but only the network-visible requester.
+    seen_predicates_.push_back({from, interest});
+
+    const pbe::Pattern pattern = schema_.encode_interest(interest);
+    const pbe::HveToken token = pbe::hve_gen_token(hve_keys_, pattern, rng_);
+    respond(kStatusOk, token.serialize(*pairing_));
+  } catch (const std::exception& e) {
+    ++rejected_;
+    log_warn("pbe-ts") << "bad request from " << from << ": " << e.what();
+  }
+}
+
+}  // namespace p3s::core

@@ -1,0 +1,32 @@
+// The supersingular curve E: y² = x³ + x over F_q (q ≡ 3 mod 4), the group
+// behind PBC's "Type A" pairing that the paper's jPBC/cpabe stacks use.
+// #E(F_q) = q + 1; the pairing group is the order-r subgroup with q + 1 = h·r.
+#pragma once
+
+#include "math/bigint.hpp"
+#include "math/modular.hpp"
+
+namespace p3s::pairing {
+
+using math::BigInt;
+
+/// Affine point; (infinity=true) is the identity.
+struct Point {
+  BigInt x;
+  BigInt y;
+  bool infinity = true;
+
+  static Point at_infinity() { return Point{}; }
+  bool operator==(const Point&) const = default;
+};
+
+/// True iff p is the identity or satisfies the curve equation mod q.
+bool on_curve(const Point& p, const BigInt& q);
+
+Point point_neg(const Point& p, const BigInt& q);
+Point point_add(const Point& p1, const Point& p2, const BigInt& q);
+Point point_double(const Point& p, const BigInt& q);
+/// k·p with k >= 0 (Jacobian double-and-add internally).
+Point point_mul(const Point& p, const BigInt& k, const BigInt& q);
+
+}  // namespace p3s::pairing

@@ -1,0 +1,32 @@
+// ECIES-style hybrid public-key encryption over the pairing group's G1.
+// This stands in for the "public key certificates" of the P3S services: the
+// subscriber encrypts (Ks, predicate) to the PBE-TS and (Ks, GUID) to the RS
+// under the service's public key (paper §4.3).
+#pragma once
+
+#include <optional>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "pairing/pairing.hpp"
+
+namespace p3s::pairing {
+
+struct EciesKeyPair {
+  BigInt secret;  // scalar in [1, r)
+  Point public_key;
+};
+
+/// Generate a fresh keypair on the given group.
+EciesKeyPair ecies_keygen(const Pairing& pairing, Rng& rng);
+
+/// Encrypt `plaintext` to `recipient_pk`. Output is self-contained
+/// (ephemeral point + AEAD body).
+Bytes ecies_encrypt(const Pairing& pairing, const Point& recipient_pk,
+                    BytesView plaintext, Rng& rng);
+
+/// Decrypt; nullopt on any authentication failure or malformed input.
+std::optional<Bytes> ecies_decrypt(const Pairing& pairing, const BigInt& secret,
+                                   BytesView ciphertext);
+
+}  // namespace p3s::pairing

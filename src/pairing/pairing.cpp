@@ -1,0 +1,382 @@
+#include "pairing/pairing.hpp"
+
+#include <mutex>
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/sha256.hpp"
+#include "math/prime.hpp"
+
+namespace p3s::pairing {
+
+using math::is_probable_prime;
+using math::mod;
+using math::mod_add;
+using math::mod_inv;
+using math::mod_mul;
+using math::mod_sqrt_3mod4;
+using math::mod_sub;
+using math::random_prime;
+
+Bytes Params::serialize() const {
+  Writer w;
+  w.bytes(q.to_bytes());
+  w.bytes(r.to_bytes());
+  w.bytes(h.to_bytes());
+  w.bytes(g.x.to_bytes());
+  w.bytes(g.y.to_bytes());
+  return w.take();
+}
+
+Params Params::deserialize(BytesView data) {
+  Reader rd(data);
+  Params p;
+  p.q = BigInt::from_bytes(rd.bytes());
+  p.r = BigInt::from_bytes(rd.bytes());
+  p.h = BigInt::from_bytes(rd.bytes());
+  p.g.x = BigInt::from_bytes(rd.bytes());
+  p.g.y = BigInt::from_bytes(rd.bytes());
+  p.g.infinity = false;
+  rd.expect_done();
+  if (!on_curve(p.g, p.q)) throw std::invalid_argument("Params: generator off curve");
+  return p;
+}
+
+Params generate_params(Rng& rng, std::size_t r_bits, std::size_t q_bits) {
+  if (q_bits < r_bits + 8) {
+    throw std::invalid_argument("generate_params: q_bits must exceed r_bits by >= 8");
+  }
+  Params p;
+  p.r = random_prime(rng, r_bits);
+
+  // Find h = 4k with q = h·r − 1 prime of exactly q_bits bits.
+  // q ≡ 3 (mod 4) automatically since q = 4kr − 1.
+  const std::size_t k_bits = q_bits - r_bits - 2;
+  for (;;) {
+    BigInt k = BigInt::random_bits(rng, k_bits);
+    BigInt h = k << 2;
+    BigInt q = h * p.r - BigInt{1};
+    if (q.bit_length() != q_bits) continue;
+    if (!is_probable_prime(q, rng)) continue;
+    p.h = std::move(h);
+    p.q = std::move(q);
+    break;
+  }
+
+  // Generator: random curve point pushed into the order-r subgroup.
+  for (;;) {
+    const BigInt x = BigInt::random_below(rng, p.q);
+    const BigInt t =
+        mod_add(mod_mul(mod_mul(x, x, p.q), x, p.q), x, p.q);  // x³ + x
+    if (!math::is_quadratic_residue(t, p.q)) continue;
+    const BigInt y = mod_sqrt_3mod4(t, p.q);
+    const Point cand{x, y, false};
+    const Point g = point_mul(cand, p.h, p.q);
+    if (g.infinity) continue;
+    p.g = g;
+    return p;
+  }
+}
+
+Pairing::Pairing(Params params)
+    : params_(std::move(params)), montq_(params_.q) {
+  if (!on_curve(params_.g, params_.q) || params_.g.infinity) {
+    throw std::invalid_argument("Pairing: invalid generator");
+  }
+  if (params_.q != params_.h * params_.r - BigInt{1}) {
+    throw std::invalid_argument("Pairing: q != h*r - 1");
+  }
+  if ((params_.q % BigInt{4}) != BigInt{3}) {
+    throw std::invalid_argument("Pairing: q % 4 != 3");
+  }
+  final_exp_ = (params_.q * params_.q - BigInt{1}) / params_.r;
+  q_bytes_ = (params_.q.bit_length() + 7) / 8;
+  e_gg_ = pair(params_.g, params_.g);
+  if (fq2_is_one(e_gg_)) {
+    throw std::invalid_argument("Pairing: degenerate generator pairing");
+  }
+}
+
+namespace {
+std::once_flag g_test_once, g_paper_once;
+std::shared_ptr<const Pairing> g_test, g_paper;
+}  // namespace
+
+std::shared_ptr<const Pairing> Pairing::test_pairing() {
+  std::call_once(g_test_once, [] {
+    TestRng rng(0x7035'7035'7035ull);
+    g_test = std::make_shared<const Pairing>(generate_params(rng, 80, 160));
+  });
+  return g_test;
+}
+
+std::shared_ptr<const Pairing> Pairing::paper_pairing() {
+  std::call_once(g_paper_once, [] {
+    TestRng rng(0x5042'4320'4121ull);  // deterministic: reproducible benches
+    g_paper = std::make_shared<const Pairing>(generate_params(rng, 160, 512));
+  });
+  return g_paper;
+}
+
+BigInt Pairing::random_scalar(Rng& rng) const {
+  return BigInt::random_below(rng, params_.r);
+}
+
+BigInt Pairing::random_nonzero_scalar(Rng& rng) const {
+  return BigInt{1} + BigInt::random_below(rng, params_.r - BigInt{1});
+}
+
+Point Pairing::mul(const Point& p, const BigInt& k) const {
+  return point_mul(p, mod(k, params_.r), params_.q);
+}
+
+Point Pairing::add(const Point& a, const Point& b) const {
+  return point_add(a, b, params_.q);
+}
+
+Point Pairing::neg(const Point& p) const { return point_neg(p, params_.q); }
+
+Point Pairing::random_g1(Rng& rng) const {
+  return mul(params_.g, random_nonzero_scalar(rng));
+}
+
+Point Pairing::hash_to_g1(BytesView data) const {
+  const Bytes prk = crypto::hkdf_extract(str_to_bytes("p3s-hash-to-g1"), data);
+  for (std::uint32_t ctr = 0;; ++ctr) {
+    Writer info;
+    info.u32(ctr);
+    const Bytes xm = crypto::hkdf_expand(prk, info.data(), q_bytes_ + 16);
+    const BigInt x = mod(BigInt::from_bytes(xm), params_.q);
+    const BigInt t =
+        mod_add(mod_mul(mod_mul(x, x, params_.q), x, params_.q), x, params_.q);
+    if (!math::is_quadratic_residue(t, params_.q)) continue;
+    BigInt y = mod_sqrt_3mod4(t, params_.q);
+    // Use one more derived bit to pick the root deterministically.
+    Writer winfo;
+    winfo.u32(ctr);
+    winfo.u8(0xff);
+    const Bytes sign = crypto::hkdf_expand(prk, winfo.data(), 1);
+    if ((sign[0] & 1) != 0) y = mod_sub(BigInt{}, y, params_.q);
+    const Point g = point_mul(Point{x, y, false}, params_.h, params_.q);
+    if (!g.infinity) return g;
+  }
+}
+
+Bytes Pairing::serialize_g1(const Point& p) const {
+  Writer w;
+  if (p.infinity) {
+    w.u8(0);
+    w.raw(Bytes(2 * q_bytes_, 0));
+  } else {
+    w.u8(1);
+    w.raw(p.x.to_bytes(q_bytes_));
+    w.raw(p.y.to_bytes(q_bytes_));
+  }
+  return w.take();
+}
+
+Point Pairing::deserialize_g1(BytesView data) const {
+  Reader r(data);
+  const std::uint8_t flag = r.u8();
+  const Bytes xb = r.raw(q_bytes_);
+  const Bytes yb = r.raw(q_bytes_);
+  r.expect_done();
+  if (flag == 0) return Point::at_infinity();
+  Point p{BigInt::from_bytes(xb), BigInt::from_bytes(yb), false};
+  if (p.x >= params_.q || p.y >= params_.q || !on_curve(p, params_.q)) {
+    throw std::invalid_argument("deserialize_g1: point not on curve");
+  }
+  return p;
+}
+
+namespace {
+// Jacobian point used inside the Miller loop (z == 0 means infinity).
+// Keeping V projective removes every per-step modular inversion: line
+// values are scaled by the λ-denominator, which lies in F_q* and is killed
+// by the final exponentiation ((q−1) divides (q²−1)/r), the same
+// denominator-elimination argument that lets us drop vertical lines.
+struct MillerPoint {
+  BigInt x, y, z;
+  bool infinity() const { return z.is_zero(); }
+};
+
+// F_q² arithmetic with coordinates kept in Montgomery form. Addition and
+// subtraction are domain-preserving, so only products change.
+Fq2 fq2_mul_m(const Fq2& x, const Fq2& y, const math::Montgomery& mq,
+              const BigInt& q) {
+  const BigInt t0 = mq.mul(x.a, y.a);
+  const BigInt t1 = mq.mul(x.b, y.b);
+  const BigInt t2 = mq.mul(mod_add(x.a, x.b, q), mod_add(y.a, y.b, q));
+  return {mod_sub(t0, t1, q), mod_sub(mod_sub(t2, t0, q), t1, q)};
+}
+
+Fq2 fq2_sqr_m(const Fq2& x, const math::Montgomery& mq, const BigInt& q) {
+  const BigInt t0 = mq.mul(mod_add(x.a, x.b, q), mod_sub(x.a, x.b, q));
+  const BigInt t1 = mq.mul(x.a, x.b);
+  return {t0, mod_add(t1, t1, q)};
+}
+
+Fq2 fq2_pow_m(const Fq2& x, const BigInt& e, const Fq2& one_m,
+              const math::Montgomery& mq, const BigInt& q) {
+  Fq2 acc = one_m;
+  for (std::size_t i = e.bit_length(); i-- > 0;) {
+    acc = fq2_sqr_m(acc, mq, q);
+    if (e.bit(i)) acc = fq2_mul_m(acc, x, mq, q);
+  }
+  return acc;
+}
+}  // namespace
+
+Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
+  if (p.infinity || qpt.infinity) return fq2_one();
+  const BigInt& q = params_.q;
+  const BigInt& r = params_.r;
+  const math::Montgomery& mq = montq_;
+
+  // Montgomery-domain inputs; every product below is a CIOS multiply.
+  const BigInt one_m = mq.to_mont(BigInt{1});
+  const BigInt px = mq.to_mont(p.x);
+  const BigInt py = mq.to_mont(p.y);
+  const BigInt qx = mq.to_mont(qpt.x);
+  const BigInt qy = mq.to_mont(qpt.y);
+  const Fq2 fq2_one_m{one_m, BigInt{}};
+
+  // Miller loop computing f_{r,P}(φ(Q)) with φ(x,y) = (−x, i·y).
+  Fq2 f = fq2_one_m;
+  MillerPoint v{px, py, one_m};
+
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    if (!v.infinity()) {
+      // --- tangent line at V, scaled by 2YZ³ ---------------------------
+      //   real = M·Z²·xQ + M·X − 2Y²,  imag = 2YZ³·yQ
+      // with M = 3X² + Z⁴ (curve coefficient a = 1).
+      const BigInt x2 = mq.mul(v.x, v.x);
+      const BigInt z2 = mq.mul(v.z, v.z);
+      const BigInt z4 = mq.mul(z2, z2);
+      const BigInt m = mod_add(mod_add(mod_add(x2, x2, q), x2, q), z4, q);
+      const BigInt y2 = mq.mul(v.y, v.y);
+      const BigInt two_y2 = mod_add(y2, y2, q);
+      const BigInt yz = mq.mul(v.y, v.z);
+      const BigInt two_yz3 = mq.mul(mod_add(yz, yz, q), z2);  // 2YZ³
+      Fq2 line;
+      line.a = mod_sub(
+          mod_add(mq.mul(mq.mul(m, z2), qx), mq.mul(m, v.x), q), two_y2, q);
+      line.b = mq.mul(two_yz3, qy);
+      f = fq2_mul_m(fq2_sqr_m(f, mq, q), line, mq, q);
+
+      // --- double V (Jacobian, a = 1) -----------------------------------
+      BigInt s = mq.mul(v.x, y2);
+      s = mod_add(s, s, q);
+      s = mod_add(s, s, q);  // 4XY²
+      const BigInt xp = mod_sub(mq.mul(m, m), mod_add(s, s, q), q);
+      BigInt y4 = mq.mul(y2, y2);
+      y4 = mod_add(y4, y4, q);
+      y4 = mod_add(y4, y4, q);
+      y4 = mod_add(y4, y4, q);  // 8Y⁴
+      const BigInt yp = mod_sub(mq.mul(m, mod_sub(s, xp, q)), y4, q);
+      v = MillerPoint{xp, yp, mod_add(yz, yz, q)};
+    } else {
+      f = fq2_sqr_m(f, mq, q);
+    }
+
+    if (r.bit(i)) {
+      if (v.infinity()) {
+        v = MillerPoint{px, py, one_m};
+        continue;
+      }
+      // --- addition V + P (P affine) ------------------------------------
+      const BigInt z2 = mq.mul(v.z, v.z);
+      const BigInt u2 = mq.mul(px, z2);              // xP·Z²
+      const BigInt s2 = mq.mul(py, mq.mul(z2, v.z));  // yP·Z³
+      const BigInt hh = mod_sub(u2, v.x, q);
+      const BigInt rr = mod_sub(s2, v.y, q);
+      if (hh.is_zero()) {
+        if (rr.is_zero()) {
+          // V == P: tangent at the affine point, scaled by its denominator.
+          const BigInt x2p = mq.mul(px, px);
+          const BigInt num =
+              mod_add(mod_add(mod_add(x2p, x2p, q), x2p, q), one_m, q);
+          const BigInt den = mod_add(py, py, q);
+          Fq2 line;
+          line.a = mod_sub(mq.mul(num, mod_add(qx, px, q)), mq.mul(den, py), q);
+          line.b = mq.mul(den, qy);
+          f = fq2_mul_m(f, line, mq, q);
+          const Point dbl = point_double(p, q);
+          v = dbl.infinity
+                  ? MillerPoint{one_m, one_m, BigInt{}}
+                  : MillerPoint{mq.to_mont(dbl.x), mq.to_mont(dbl.y), one_m};
+        } else {
+          // V == −P: vertical line (eliminated); V + P = O.
+          v = MillerPoint{one_m, one_m, BigInt{}};
+        }
+        continue;
+      }
+      // Line through V and P scaled by Z·H:
+      //   real = R·(xQ + xP) − yP·Z·H,  imag = Z·H·yQ.
+      const BigInt zh = mq.mul(v.z, hh);
+      Fq2 line;
+      line.a = mod_sub(mq.mul(rr, mod_add(qx, px, q)), mq.mul(py, zh), q);
+      line.b = mq.mul(zh, qy);
+      f = fq2_mul_m(f, line, mq, q);
+
+      // V ← V + P (mixed Jacobian addition).
+      const BigInt h2 = mq.mul(hh, hh);
+      const BigInt h3 = mq.mul(h2, hh);
+      const BigInt uh2 = mq.mul(v.x, h2);
+      const BigInt xp =
+          mod_sub(mod_sub(mq.mul(rr, rr), h3, q), mod_add(uh2, uh2, q), q);
+      const BigInt yp =
+          mod_sub(mq.mul(rr, mod_sub(uh2, xp, q)), mq.mul(v.y, h3), q);
+      v = MillerPoint{xp, yp, zh};
+    }
+  }
+
+  // Final exponentiation: f^((q²−1)/r) = (conj(f)·f⁻¹)^h since
+  // (q²−1)/r = (q−1)·h and f^q = conj(f) in F_q². Inversion drops out of
+  // Montgomery form for the extended-Euclid step, then re-enters.
+  const Fq2 f_conj = fq2_conj(f, q);
+  const BigInt norm = mod_add(mq.mul(f.a, f.a), mq.mul(f.b, f.b), q);
+  const BigInt norm_inv = mq.to_mont(mod_inv(mq.from_mont(norm), q));
+  const Fq2 f_inv{mq.mul(f.a, norm_inv),
+                  mq.mul(mod_sub(BigInt{}, f.b, q), norm_inv)};
+  const Fq2 f_q_minus_1 = fq2_mul_m(f_conj, f_inv, mq, q);
+  const Fq2 result_m =
+      fq2_pow_m(f_q_minus_1, params_.h, Fq2{one_m, BigInt{}}, mq, q);
+  return Fq2{mq.from_mont(result_m.a), mq.from_mont(result_m.b)};
+}
+
+Fq2 Pairing::gt_mul(const Fq2& a, const Fq2& b) const {
+  return fq2_mul(a, b, params_.q);
+}
+
+Fq2 Pairing::gt_pow(const Fq2& a, const BigInt& e) const {
+  return fq2_pow(a, mod(e, params_.r), params_.q);
+}
+
+Fq2 Pairing::gt_inv(const Fq2& a) const { return fq2_inv(a, params_.q); }
+
+Fq2 Pairing::random_gt(Rng& rng) const {
+  return gt_pow(e_gg_, random_nonzero_scalar(rng));
+}
+
+Bytes Pairing::serialize_gt(const Fq2& v) const {
+  Writer w;
+  w.raw(v.a.to_bytes(q_bytes_));
+  w.raw(v.b.to_bytes(q_bytes_));
+  return w.take();
+}
+
+Fq2 Pairing::deserialize_gt(BytesView data) const {
+  Reader r(data);
+  Fq2 v;
+  v.a = BigInt::from_bytes(r.raw(q_bytes_));
+  v.b = BigInt::from_bytes(r.raw(q_bytes_));
+  r.expect_done();
+  if (v.a >= params_.q || v.b >= params_.q) {
+    throw std::invalid_argument("deserialize_gt: out of range");
+  }
+  return v;
+}
+
+}  // namespace p3s::pairing

@@ -1,0 +1,95 @@
+// Symmetric (Type-A) bilinear pairing e: G1 × G1 → GT, the same algebraic
+// setting PBC's "a.param" gives the paper's jPBC/cpabe stacks:
+//   E: y² = x³ + x over F_q, q ≡ 3 (mod 4), #E(F_q) = q + 1 = h·r,
+//   G1 = order-r subgroup, GT ⊂ F_q²* (order-r roots of unity),
+//   e(P,Q) = TatePairing(P, φ(Q))^((q²−1)/r) with distortion map
+//   φ(x,y) = (−x, i·y).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "math/montgomery.hpp"
+#include "pairing/curve.hpp"
+#include "pairing/fq2.hpp"
+
+namespace p3s::pairing {
+
+/// Public group parameters. Generated once and shared by every participant
+/// (the ARA distributes them during registration).
+struct Params {
+  BigInt q;  ///< base field prime, q = h·r − 1, q ≡ 3 (mod 4)
+  BigInt r;  ///< prime group order
+  BigInt h;  ///< cofactor (multiple of 4)
+  Point g;   ///< generator of the order-r subgroup
+
+  Bytes serialize() const;
+  static Params deserialize(BytesView data);
+};
+
+/// Generate fresh parameters: r with `r_bits` bits, q with `q_bits` bits.
+/// q_bits must exceed r_bits by at least 8.
+Params generate_params(Rng& rng, std::size_t r_bits, std::size_t q_bits);
+
+/// Immutable pairing context; shared via shared_ptr between all crypto
+/// objects bound to the same group.
+class Pairing {
+ public:
+  explicit Pairing(Params params);
+
+  /// Small deterministic parameters (80-bit r, 160-bit q) for fast tests.
+  /// Cached singleton.
+  static std::shared_ptr<const Pairing> test_pairing();
+  /// PBC a.param-sized parameters (160-bit r, 512-bit q) matching the
+  /// security level the paper benchmarked. Cached singleton.
+  static std::shared_ptr<const Pairing> paper_pairing();
+
+  const Params& params() const { return params_; }
+  const BigInt& q() const { return params_.q; }
+  const BigInt& r() const { return params_.r; }
+
+  // --- Zr -----------------------------------------------------------------
+  BigInt random_scalar(Rng& rng) const;           // uniform in [0, r)
+  BigInt random_nonzero_scalar(Rng& rng) const;   // uniform in [1, r)
+
+  // --- G1 -----------------------------------------------------------------
+  const Point& generator() const { return params_.g; }
+  Point mul(const Point& p, const BigInt& k) const;
+  Point add(const Point& a, const Point& b) const;
+  Point neg(const Point& p) const;
+  Point random_g1(Rng& rng) const;                // nonidentity
+  /// Deterministic hash onto the order-r subgroup (try-and-increment).
+  Point hash_to_g1(BytesView data) const;
+  Bytes serialize_g1(const Point& p) const;
+  /// Validates curve membership; throws std::invalid_argument on bad input.
+  Point deserialize_g1(BytesView data) const;
+  std::size_t g1_bytes() const { return 1 + 2 * q_bytes_; }
+
+  // --- GT -----------------------------------------------------------------
+  /// The pairing itself.
+  Fq2 pair(const Point& p, const Point& q) const;
+  /// Precomputed e(g, g).
+  const Fq2& gt_generator() const { return e_gg_; }
+  Fq2 gt_mul(const Fq2& a, const Fq2& b) const;
+  Fq2 gt_pow(const Fq2& a, const BigInt& e) const;
+  Fq2 gt_inv(const Fq2& a) const;
+  Fq2 gt_one() const { return fq2_one(); }
+  /// Uniform random element of GT (used as KEM payloads).
+  Fq2 random_gt(Rng& rng) const;
+  Bytes serialize_gt(const Fq2& v) const;
+  Fq2 deserialize_gt(BytesView data) const;
+  std::size_t gt_bytes() const { return 2 * q_bytes_; }
+
+ private:
+  Params params_;
+  BigInt final_exp_;  // (q² − 1) / r
+  std::size_t q_bytes_;
+  math::Montgomery montq_;  // Montgomery context for F_q (pairing hot path)
+  Fq2 e_gg_;
+};
+
+using PairingPtr = std::shared_ptr<const Pairing>;
+
+}  // namespace p3s::pairing

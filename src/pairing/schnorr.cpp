@@ -1,0 +1,67 @@
+#include "pairing/schnorr.hpp"
+
+#include "common/serial.hpp"
+#include "crypto/sha256.hpp"
+#include "math/modular.hpp"
+
+namespace p3s::pairing {
+
+using math::mod;
+using math::mod_add;
+using math::mod_mul;
+
+namespace {
+BigInt challenge(const Pairing& p, const Point& r, const Point& pk,
+                 BytesView message) {
+  Writer w;
+  w.bytes(p.serialize_g1(r));
+  w.bytes(p.serialize_g1(pk));
+  w.bytes(message);
+  return mod(math::BigInt::from_bytes(crypto::Sha256::digest(w.data())), p.r());
+}
+}  // namespace
+
+Bytes SchnorrSignature::serialize(const Pairing& pairing) const {
+  Writer w;
+  w.bytes(pairing.serialize_g1(r));
+  w.bytes(s.to_bytes());
+  return w.take();
+}
+
+SchnorrSignature SchnorrSignature::deserialize(const Pairing& pairing,
+                                               BytesView data) {
+  Reader rd(data);
+  SchnorrSignature sig;
+  sig.r = pairing.deserialize_g1(rd.bytes());
+  sig.s = math::BigInt::from_bytes(rd.bytes());
+  rd.expect_done();
+  return sig;
+}
+
+SchnorrKeyPair schnorr_keygen(const Pairing& pairing, Rng& rng) {
+  SchnorrKeyPair kp;
+  kp.secret = pairing.random_nonzero_scalar(rng);
+  kp.public_key = pairing.mul(pairing.generator(), kp.secret);
+  return kp;
+}
+
+SchnorrSignature schnorr_sign(const Pairing& pairing, const BigInt& secret,
+                              BytesView message, Rng& rng) {
+  const BigInt k = pairing.random_nonzero_scalar(rng);
+  SchnorrSignature sig;
+  sig.r = pairing.mul(pairing.generator(), k);
+  const Point pk = pairing.mul(pairing.generator(), secret);
+  const BigInt c = challenge(pairing, sig.r, pk, message);
+  sig.s = mod_add(k, mod_mul(c, secret, pairing.r()), pairing.r());
+  return sig;
+}
+
+bool schnorr_verify(const Pairing& pairing, const Point& public_key,
+                    BytesView message, const SchnorrSignature& sig) {
+  const BigInt c = challenge(pairing, sig.r, public_key, message);
+  const Point lhs = pairing.mul(pairing.generator(), sig.s);
+  const Point rhs = pairing.add(sig.r, pairing.mul(public_key, c));
+  return lhs == rhs;
+}
+
+}  // namespace p3s::pairing

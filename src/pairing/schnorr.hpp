@@ -1,0 +1,34 @@
+// Schnorr signatures over G1 — the certificate mechanism behind the ARA's
+// "public key certificates" (paper §4.3): the ARA signs role certificates;
+// the PBE-TS verifies that a token requester is a registered subscriber
+// without learning who it is.
+#pragma once
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "pairing/pairing.hpp"
+
+namespace p3s::pairing {
+
+struct SchnorrKeyPair {
+  BigInt secret;
+  Point public_key;
+};
+
+struct SchnorrSignature {
+  Point r;     // g^k
+  BigInt s;    // k + c·x mod r
+
+  Bytes serialize(const Pairing& pairing) const;
+  static SchnorrSignature deserialize(const Pairing& pairing, BytesView data);
+};
+
+SchnorrKeyPair schnorr_keygen(const Pairing& pairing, Rng& rng);
+
+SchnorrSignature schnorr_sign(const Pairing& pairing, const BigInt& secret,
+                              BytesView message, Rng& rng);
+
+bool schnorr_verify(const Pairing& pairing, const Point& public_key,
+                    BytesView message, const SchnorrSignature& sig);
+
+}  // namespace p3s::pairing

@@ -1,0 +1,65 @@
+#include "pbe/epoch.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+namespace p3s::pbe {
+
+EpochPolicy::EpochPolicy(std::size_t n_epochs, double epoch_seconds)
+    : n_epochs_(n_epochs), epoch_seconds_(epoch_seconds) {
+  if (n_epochs < 2) {
+    throw std::invalid_argument("EpochPolicy: need >= 2 epochs");
+  }
+  if (!(epoch_seconds > 0)) {
+    throw std::invalid_argument("EpochPolicy: epoch_seconds must be positive");
+  }
+}
+
+std::size_t EpochPolicy::epoch_at(double time) const {
+  const double idx = std::floor(time / epoch_seconds_);
+  return static_cast<std::size_t>(idx) % n_epochs_;
+}
+
+std::string EpochPolicy::value_of(std::size_t epoch) const {
+  return "e" + std::to_string(epoch % n_epochs_);
+}
+
+MetadataSchema EpochPolicy::extend(const MetadataSchema& schema) const {
+  std::vector<AttributeSpec> specs = schema.attributes();
+  AttributeSpec epoch_spec;
+  epoch_spec.name = attribute_name();
+  for (std::size_t e = 0; e < n_epochs_; ++e) {
+    epoch_spec.values.push_back(value_of(e));
+  }
+  specs.push_back(std::move(epoch_spec));
+  return MetadataSchema(std::move(specs));
+}
+
+Metadata EpochPolicy::stamp(Metadata md, double time) const {
+  md[attribute_name()] = value_of(epoch_at(time));
+  return md;
+}
+
+Interest EpochPolicy::restrict(Interest interest, double time) const {
+  interest[attribute_name()] = value_of(epoch_at(time));
+  return interest;
+}
+
+Bytes EpochPolicy::serialize() const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(n_epochs_));
+  w.u64(static_cast<std::uint64_t>(epoch_seconds_ * 1000.0));  // ms precision
+  return w.take();
+}
+
+EpochPolicy EpochPolicy::deserialize(BytesView data) {
+  Reader r(data);
+  const std::uint32_t n = r.u32();
+  const double seconds = static_cast<double>(r.u64()) / 1000.0;
+  r.expect_done();
+  return EpochPolicy(n, seconds);
+}
+
+}  // namespace p3s::pbe

@@ -1,0 +1,59 @@
+// Time-stamped publications and tokens — the token-revocation mitigation of
+// paper §6.1: "One possibility is to time-stamp publications and tokens,
+// making tokens active only within a configurable period of time. This
+// approach has the advantage of providing a token revocation mechanism but
+// requires the clients to be time-synchronized and using time as an
+// additional metadata attribute."
+//
+// The epoch is one extra schema attribute with `n_epochs` values, cycled as
+// epoch(t) = floor(t / epoch_seconds) mod n_epochs. Publishers stamp
+// metadata with the current epoch; token requests are restricted to the
+// current epoch, so a token stops matching after its epoch rolls over —
+// bounding how many live tokens an adversary can hoard (the §6.1 token
+// accumulation attack).
+#pragma once
+
+#include <cstddef>
+
+#include "pbe/schema.hpp"
+
+namespace p3s::pbe {
+
+class EpochPolicy {
+ public:
+  /// Throws std::invalid_argument unless n_epochs >= 2 and
+  /// epoch_seconds > 0.
+  EpochPolicy(std::size_t n_epochs, double epoch_seconds);
+
+  std::size_t n_epochs() const { return n_epochs_; }
+  double epoch_seconds() const { return epoch_seconds_; }
+
+  /// Epoch index active at time t (seconds).
+  std::size_t epoch_at(double time) const;
+
+  /// Name of the epoch attribute added to schemas.
+  static const char* attribute_name() { return "_epoch"; }
+  /// Value string for epoch index e.
+  std::string value_of(std::size_t epoch) const;
+
+  /// Extend a schema with the epoch attribute.
+  MetadataSchema extend(const MetadataSchema& schema) const;
+
+  /// Stamp metadata with the epoch active at `time`.
+  Metadata stamp(Metadata md, double time) const;
+
+  /// Restrict an interest to the epoch active at `time` (a token for it
+  /// matches only publications stamped in the same epoch).
+  Interest restrict(Interest interest, double time) const;
+
+  bool operator==(const EpochPolicy&) const = default;
+
+  Bytes serialize() const;
+  static EpochPolicy deserialize(BytesView data);
+
+ private:
+  std::size_t n_epochs_;
+  double epoch_seconds_;
+};
+
+}  // namespace p3s::pbe

@@ -1,0 +1,331 @@
+#include "pbe/hve.hpp"
+
+#include <stdexcept>
+
+#include "common/serial.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/hmac.hpp"
+#include "math/modular.hpp"
+
+namespace p3s::pbe {
+
+using math::mod;
+using math::mod_add;
+using math::mod_inv;
+using math::mod_mul;
+using math::mod_sub;
+
+bool hve_match_plain(const BitVector& x, const Pattern& w) {
+  if (x.size() != w.size()) return false;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (w[i] != kWildcard && w[i] != static_cast<std::int8_t>(x[i])) return false;
+  }
+  return true;
+}
+
+// --- Serialization ---------------------------------------------------------------
+
+namespace {
+void write_points(Writer& w, const pairing::Pairing& p,
+                  const std::vector<Point>& pts) {
+  w.u32(static_cast<std::uint32_t>(pts.size()));
+  for (const Point& pt : pts) w.raw(p.serialize_g1(pt));
+}
+
+std::vector<Point> read_points(Reader& r, const pairing::Pairing& p) {
+  const std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw std::invalid_argument("hve: vector too long");
+  std::vector<Point> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    out.push_back(p.deserialize_g1(r.raw(p.g1_bytes())));
+  }
+  return out;
+}
+}  // namespace
+
+Bytes HvePublicKey::serialize() const {
+  Writer w;
+  write_points(w, *pairing, t);
+  write_points(w, *pairing, v);
+  write_points(w, *pairing, r);
+  write_points(w, *pairing, m);
+  w.raw(pairing->serialize_gt(omega));
+  return w.take();
+}
+
+HvePublicKey HvePublicKey::deserialize(PairingPtr pairing, BytesView data) {
+  Reader rd(data);
+  HvePublicKey pk;
+  pk.t = read_points(rd, *pairing);
+  pk.v = read_points(rd, *pairing);
+  pk.r = read_points(rd, *pairing);
+  pk.m = read_points(rd, *pairing);
+  pk.omega = pairing->deserialize_gt(rd.raw(pairing->gt_bytes()));
+  rd.expect_done();
+  if (pk.v.size() != pk.t.size() || pk.r.size() != pk.t.size() ||
+      pk.m.size() != pk.t.size()) {
+    throw std::invalid_argument("HvePublicKey: ragged vectors");
+  }
+  pk.pairing = std::move(pairing);
+  return pk;
+}
+
+Bytes HveCiphertext::serialize(const pairing::Pairing& pairing) const {
+  Writer wr;
+  wr.raw(pairing.serialize_gt(c0));
+  write_points(wr, pairing, x);
+  write_points(wr, pairing, w);
+  return wr.take();
+}
+
+HveCiphertext HveCiphertext::deserialize(const pairing::Pairing& pairing,
+                                         BytesView data) {
+  Reader rd(data);
+  HveCiphertext ct;
+  ct.c0 = pairing.deserialize_gt(rd.raw(pairing.gt_bytes()));
+  ct.x = read_points(rd, pairing);
+  ct.w = read_points(rd, pairing);
+  rd.expect_done();
+  if (ct.w.size() != ct.x.size()) {
+    throw std::invalid_argument("HveCiphertext: ragged vectors");
+  }
+  return ct;
+}
+
+Bytes HveToken::serialize(const pairing::Pairing& pairing) const {
+  Writer w;
+  w.u32(static_cast<std::uint32_t>(positions.size()));
+  for (std::uint32_t p : positions) w.u32(p);
+  write_points(w, pairing, y);
+  write_points(w, pairing, l);
+  return w.take();
+}
+
+HveToken HveToken::deserialize(const pairing::Pairing& pairing, BytesView data) {
+  Reader rd(data);
+  HveToken tok;
+  const std::uint32_t n = rd.u32();
+  if (n > 1u << 20) throw std::invalid_argument("HveToken: too many positions");
+  tok.positions.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) tok.positions.push_back(rd.u32());
+  tok.y = read_points(rd, pairing);
+  tok.l = read_points(rd, pairing);
+  rd.expect_done();
+  if (tok.y.size() != tok.positions.size() ||
+      tok.l.size() != tok.positions.size()) {
+    throw std::invalid_argument("HveToken: ragged vectors");
+  }
+  return tok;
+}
+
+namespace {
+void write_scalars(Writer& w, const std::vector<BigInt>& xs) {
+  w.u32(static_cast<std::uint32_t>(xs.size()));
+  for (const BigInt& x : xs) w.bytes(x.to_bytes());
+}
+
+std::vector<BigInt> read_scalars(Reader& r) {
+  const std::uint32_t n = r.u32();
+  if (n > 1u << 20) throw std::invalid_argument("hve: scalar vector too long");
+  std::vector<BigInt> out;
+  out.reserve(n);
+  for (std::uint32_t i = 0; i < n; ++i) out.push_back(BigInt::from_bytes(r.bytes()));
+  return out;
+}
+}  // namespace
+
+Bytes HveMasterKey::serialize() const {
+  Writer w;
+  write_scalars(w, t);
+  write_scalars(w, v);
+  write_scalars(w, r);
+  write_scalars(w, m);
+  w.bytes(y.to_bytes());
+  return w.take();
+}
+
+HveMasterKey HveMasterKey::deserialize(BytesView data) {
+  Reader rd(data);
+  HveMasterKey msk;
+  msk.t = read_scalars(rd);
+  msk.v = read_scalars(rd);
+  msk.r = read_scalars(rd);
+  msk.m = read_scalars(rd);
+  msk.y = BigInt::from_bytes(rd.bytes());
+  rd.expect_done();
+  if (msk.v.size() != msk.t.size() || msk.r.size() != msk.t.size() ||
+      msk.m.size() != msk.t.size()) {
+    throw std::invalid_argument("HveMasterKey: ragged vectors");
+  }
+  return msk;
+}
+
+Bytes HveKeys::serialize() const {
+  Writer w;
+  w.bytes(pk.serialize());
+  w.bytes(msk.serialize());
+  return w.take();
+}
+
+HveKeys HveKeys::deserialize(PairingPtr pairing, BytesView data) {
+  Reader r(data);
+  HveKeys keys;
+  keys.pk = HvePublicKey::deserialize(std::move(pairing), r.bytes());
+  keys.msk = HveMasterKey::deserialize(r.bytes());
+  r.expect_done();
+  if (keys.msk.t.size() != keys.pk.width()) {
+    throw std::invalid_argument("HveKeys: pk/msk width mismatch");
+  }
+  return keys;
+}
+
+// --- Core scheme --------------------------------------------------------------------
+
+HveKeys hve_setup(PairingPtr pairing, std::size_t width, Rng& rng) {
+  if (width == 0) throw std::invalid_argument("hve_setup: zero width");
+  const pairing::Pairing& p = *pairing;
+  HveKeys keys;
+  keys.pk.pairing = pairing;
+  keys.msk.y = p.random_nonzero_scalar(rng);
+  keys.pk.omega = p.gt_pow(p.gt_generator(), keys.msk.y);
+
+  auto fill = [&](std::vector<BigInt>& exps, std::vector<Point>& pts) {
+    exps.reserve(width);
+    pts.reserve(width);
+    for (std::size_t i = 0; i < width; ++i) {
+      const BigInt e = p.random_nonzero_scalar(rng);
+      pts.push_back(p.mul(p.generator(), e));
+      exps.push_back(e);
+    }
+  };
+  fill(keys.msk.t, keys.pk.t);
+  fill(keys.msk.v, keys.pk.v);
+  fill(keys.msk.r, keys.pk.r);
+  fill(keys.msk.m, keys.pk.m);
+  return keys;
+}
+
+HveCiphertext hve_encrypt(const HvePublicKey& pk, const BitVector& x,
+                          const Fq2& message, Rng& rng) {
+  const pairing::Pairing& p = *pk.pairing;
+  if (x.size() != pk.width()) {
+    throw std::invalid_argument("hve_encrypt: width mismatch");
+  }
+  const BigInt s = p.random_nonzero_scalar(rng);
+
+  HveCiphertext ct;
+  ct.c0 = p.gt_mul(message, p.gt_inv(p.gt_pow(pk.omega, s)));
+  ct.x.reserve(x.size());
+  ct.w.reserve(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (x[i] > 1) throw std::invalid_argument("hve_encrypt: non-binary bit");
+    const BigInt si = p.random_scalar(rng);
+    const BigInt s_minus_si = mod_sub(s, si, p.r());
+    if (x[i] == 1) {
+      ct.x.push_back(p.mul(pk.t[i], s_minus_si));
+      ct.w.push_back(p.mul(pk.v[i], si));
+    } else {
+      ct.x.push_back(p.mul(pk.r[i], s_minus_si));
+      ct.w.push_back(p.mul(pk.m[i], si));
+    }
+  }
+  return ct;
+}
+
+HveToken hve_gen_token(const HveKeys& keys, const Pattern& w, Rng& rng) {
+  const pairing::Pairing& p = *keys.pk.pairing;
+  if (w.size() != keys.pk.width()) {
+    throw std::invalid_argument("hve_gen_token: width mismatch");
+  }
+  HveToken tok;
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    if (w[i] != kWildcard && w[i] != 0 && w[i] != 1) {
+      throw std::invalid_argument("hve_gen_token: bad pattern symbol");
+    }
+    if (w[i] != kWildcard) tok.positions.push_back(static_cast<std::uint32_t>(i));
+  }
+  if (tok.positions.empty()) {
+    throw std::invalid_argument(
+        "hve_gen_token: all-wildcard predicates are not permitted");
+  }
+
+  // Split y into shares a_i over the non-wildcard positions.
+  std::vector<BigInt> shares;
+  shares.reserve(tok.positions.size());
+  BigInt sum{};
+  for (std::size_t j = 0; j + 1 < tok.positions.size(); ++j) {
+    BigInt a = p.random_scalar(rng);
+    sum = mod_add(sum, a, p.r());
+    shares.push_back(std::move(a));
+  }
+  shares.push_back(mod_sub(keys.msk.y, sum, p.r()));
+
+  tok.y.reserve(tok.positions.size());
+  tok.l.reserve(tok.positions.size());
+  for (std::size_t j = 0; j < tok.positions.size(); ++j) {
+    const std::size_t i = tok.positions[j];
+    const BigInt& a = shares[j];
+    const BigInt& num = a;
+    if (w[i] == 1) {
+      tok.y.push_back(p.mul(p.generator(), mod_mul(num, mod_inv(keys.msk.t[i], p.r()), p.r())));
+      tok.l.push_back(p.mul(p.generator(), mod_mul(num, mod_inv(keys.msk.v[i], p.r()), p.r())));
+    } else {
+      tok.y.push_back(p.mul(p.generator(), mod_mul(num, mod_inv(keys.msk.r[i], p.r()), p.r())));
+      tok.l.push_back(p.mul(p.generator(), mod_mul(num, mod_inv(keys.msk.m[i], p.r()), p.r())));
+    }
+  }
+  return tok;
+}
+
+Fq2 hve_query(const pairing::Pairing& pairing, const HveToken& token,
+              const HveCiphertext& ct) {
+  Fq2 acc = pairing.gt_one();
+  for (std::size_t j = 0; j < token.positions.size(); ++j) {
+    const std::size_t i = token.positions[j];
+    if (i >= ct.width()) {
+      throw std::invalid_argument("hve_query: token/ciphertext width mismatch");
+    }
+    acc = pairing.gt_mul(acc, pairing.pair(ct.x[i], token.y[j]));
+    acc = pairing.gt_mul(acc, pairing.pair(ct.w[i], token.l[j]));
+  }
+  return pairing.gt_mul(ct.c0, acc);
+}
+
+// --- KEM-DEM wrapper -----------------------------------------------------------------
+
+namespace {
+Bytes kem_key(const pairing::Pairing& p, const Fq2& z) {
+  return crypto::hkdf(str_to_bytes("p3s-hve-kem-v1"), p.serialize_gt(z), {}, 32);
+}
+}  // namespace
+
+Bytes hve_encrypt_bytes(const HvePublicKey& pk, const BitVector& x,
+                        BytesView payload, Rng& rng) {
+  const pairing::Pairing& p = *pk.pairing;
+  const Fq2 z = p.random_gt(rng);
+  const HveCiphertext kem = hve_encrypt(pk, x, z, rng);
+  const crypto::AeadCiphertext dem =
+      crypto::aead_encrypt(kem_key(p, z), payload, str_to_bytes("hve"), rng);
+  Writer w;
+  w.bytes(kem.serialize(p));
+  w.bytes(dem.serialize());
+  return w.take();
+}
+
+std::optional<Bytes> hve_query_bytes(const pairing::Pairing& pairing,
+                                     const HveToken& token, BytesView data) {
+  try {
+    Reader r(data);
+    const HveCiphertext kem = HveCiphertext::deserialize(pairing, r.bytes());
+    const crypto::AeadCiphertext dem =
+        crypto::AeadCiphertext::deserialize(r.bytes());
+    r.expect_done();
+    const Fq2 z = hve_query(pairing, token, kem);
+    return crypto::aead_decrypt(kem_key(pairing, z), dem, str_to_bytes("hve"));
+  } catch (const std::exception&) {
+    return std::nullopt;
+  }
+}
+
+}  // namespace p3s::pbe

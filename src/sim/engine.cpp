@@ -1,0 +1,36 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+namespace p3s::sim {
+
+void SimEngine::at(double time, Task task) {
+  queue_.push(Event{std::max(time, now_), next_seq_++, std::move(task)});
+}
+
+void SimEngine::after(double delay, Task task) {
+  at(now_ + std::max(delay, 0.0), std::move(task));
+}
+
+bool SimEngine::step() {
+  if (queue_.empty()) return false;
+  // priority_queue::top returns const&; move via const_cast is the standard
+  // workaround — the element is popped immediately after.
+  Event ev = std::move(const_cast<Event&>(queue_.top()));
+  queue_.pop();
+  now_ = ev.time;
+  ev.task();
+  return true;
+}
+
+void SimEngine::run() {
+  while (step()) {
+  }
+}
+
+void SimEngine::run_until(double t) {
+  while (!queue_.empty() && queue_.top().time <= t) step();
+  now_ = std::max(now_, t);
+}
+
+}  // namespace p3s::sim

@@ -1,0 +1,50 @@
+// Discrete-event engine for the performance experiments: the paper evaluated
+// P3S at scale (100 subscribers) with analytic models; we reproduce those
+// models AND cross-check them with packet-level simulation on this engine.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <vector>
+
+namespace p3s::sim {
+
+class SimEngine {
+ public:
+  using Task = std::function<void()>;
+
+  /// Schedule at an absolute time (>= now, else clamped to now).
+  void at(double time, Task task);
+  /// Schedule `delay` seconds from now (negative clamped to 0).
+  void after(double delay, Task task);
+
+  double now() const { return now_; }
+  bool empty() const { return queue_.empty(); }
+
+  /// Execute the next event; returns false when the queue is empty.
+  bool step();
+  /// Run until no events remain.
+  void run();
+  /// Run events with time <= t, then set now to t.
+  void run_until(double t);
+
+ private:
+  struct Event {
+    double time;
+    std::uint64_t seq;  // FIFO tie-break for simultaneous events
+    Task task;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.time != b.time) return a.time > b.time;
+      return a.seq > b.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  double now_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace p3s::sim

@@ -1,0 +1,60 @@
+#include "sim/simnet.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace p3s::sim {
+
+void SimNetwork::set_link(const std::string& from, const std::string& to,
+                          LinkConfig link) {
+  pair_links_[{from, to}] = link;
+}
+
+void SimNetwork::set_egress(const std::string& from, LinkConfig link) {
+  egress_links_[from] = link;
+}
+
+const LinkConfig& SimNetwork::link_for(const std::string& from,
+                                       const std::string& to) const {
+  const auto pit = pair_links_.find({from, to});
+  if (pit != pair_links_.end()) return pit->second;
+  const auto eit = egress_links_.find(from);
+  if (eit != egress_links_.end()) return eit->second;
+  return defaults_;
+}
+
+void SimNetwork::register_endpoint(const std::string& name, Handler handler) {
+  if (!endpoints_.emplace(name, std::move(handler)).second) {
+    throw std::invalid_argument("SimNetwork: duplicate endpoint '" + name + "'");
+  }
+}
+
+void SimNetwork::unregister_endpoint(const std::string& name) {
+  endpoints_.erase(name);
+}
+
+void SimNetwork::send(const std::string& from, const std::string& to,
+                      Bytes frame) {
+  const std::size_t wire_size = frame.size();
+  send_sized(from, to, std::move(frame), wire_size);
+}
+
+void SimNetwork::send_sized(const std::string& from, const std::string& to,
+                            Bytes frame, std::size_t wire_size) {
+  traffic_.push_back({now(), from, to, wire_size, frame});
+  const LinkConfig& link = link_for(from, to);
+  const double tx = static_cast<double>(wire_size) * 8.0 / link.bandwidth_bps;
+  double& nic_free = nic_free_at_[from];
+  const double start = std::max(engine_.now(), nic_free);
+  nic_free = start + tx;
+  const double arrival = start + tx + link.latency_s;
+
+  engine_.at(arrival, [this, from, to, frame = std::move(frame)]() {
+    const auto it = endpoints_.find(to);
+    if (it == endpoints_.end()) return;  // host down: frame lost
+    Handler handler = it->second;
+    handler(from, frame);
+  });
+}
+
+}  // namespace p3s::sim

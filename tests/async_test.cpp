@@ -1,0 +1,215 @@
+// AsyncNetwork semantics plus the full P3S protocol under asynchrony, frame
+// loss, and adversarial reordering — the failure modes behind the paper's
+// §6.1 robustness discussion and the T_G grace period.
+#include <gtest/gtest.h>
+
+#include "abe/policy.hpp"
+#include "common/rng.hpp"
+#include "net/async.hpp"
+#include "p3s/system.hpp"
+
+namespace p3s::core {
+namespace {
+
+TEST(AsyncNetwork, DeliversOnlyWhenPumped) {
+  net::AsyncNetwork net;
+  int got = 0;
+  net.register_endpoint("b", [&](const std::string&, BytesView) { ++got; });
+  net.send("a", "b", str_to_bytes("m"));
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.in_flight(), 1u);
+  EXPECT_TRUE(net.pump_one());
+  EXPECT_EQ(got, 1);
+  EXPECT_FALSE(net.pump_one());
+}
+
+TEST(AsyncNetwork, FifoOrderByDefault) {
+  net::AsyncNetwork net;
+  std::vector<int> order;
+  net.register_endpoint("b", [&](const std::string&, BytesView f) {
+    order.push_back(f[0]);
+  });
+  net.send("a", "b", Bytes{1});
+  net.send("a", "b", Bytes{2});
+  net.send("a", "b", Bytes{3});
+  net.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(AsyncNetwork, ReorderDeliversNewestFirst) {
+  net::AsyncNetwork net;
+  std::vector<int> order;
+  net.register_endpoint("b", [&](const std::string&, BytesView f) {
+    order.push_back(f[0]);
+  });
+  net.set_reorder(true);
+  net.send("a", "b", Bytes{1});
+  net.send("a", "b", Bytes{2});
+  net.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{2, 1}));
+}
+
+TEST(AsyncNetwork, DropsInjectedLoss) {
+  net::AsyncNetwork net;
+  int got = 0;
+  net.register_endpoint("b", [&](const std::string&, BytesView) { ++got; });
+  net.drop_next(2);
+  net.send("a", "b", Bytes{1});
+  net.send("a", "b", Bytes{2});
+  net.send("a", "b", Bytes{3});
+  net.run_until_idle();
+  EXPECT_EQ(got, 1);
+  EXPECT_EQ(net.dropped_frames(), 2u);
+  // Dropped frames are still on the eavesdropper's log.
+  EXPECT_EQ(net.traffic().size(), 3u);
+}
+
+TEST(AsyncNetwork, CascadingSendsAreProcessed) {
+  net::AsyncNetwork net;
+  int sink = 0;
+  net.register_endpoint("relay", [&](const std::string&, BytesView f) {
+    net.send("relay", "sink", Bytes(f.begin(), f.end()));
+  });
+  net.register_endpoint("sink", [&](const std::string&, BytesView) { ++sink; });
+  net.send("a", "relay", Bytes{1});
+  EXPECT_EQ(net.run_until_idle(), 2u);
+  EXPECT_EQ(sink, 1);
+}
+
+TEST(AsyncNetwork, LiveLockGuardThrows) {
+  net::AsyncNetwork net;
+  net.register_endpoint("a", [&](const std::string&, BytesView) {
+    net.send("a", "a", Bytes{1});  // infinite self-ping
+  });
+  net.send("x", "a", Bytes{1});
+  EXPECT_THROW(net.run_until_idle(100), std::runtime_error);
+}
+
+// --- P3S over an asynchronous wire --------------------------------------------------
+
+class AsyncP3sTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    P3sConfig config;
+    config.pairing = pairing::Pairing::test_pairing();
+    config.schema = pbe::MetadataSchema(
+        {{"topic", {"a", "b"}}, {"tier", {"x", "y"}}});
+    config.rs_grace_seconds = 0.0;  // strict deletion: exposes races
+    system_ = std::make_unique<P3sSystem>(net_, std::move(config), rng_);
+  }
+
+  // make_* helpers drive protocol steps that need responses; pump after each.
+  std::unique_ptr<Subscriber> subscriber(const std::string& name) {
+    auto sub = system_->make_subscriber(name, name + "-pseud", {"m"}, rng_);
+    net_.run_until_idle();
+    return sub;
+  }
+
+  net::AsyncNetwork net_;
+  TestRng rng_{0xa57c};
+  std::unique_ptr<P3sSystem> system_;
+};
+
+TEST_F(AsyncP3sTest, FullFlowUnderAsynchrony) {
+  auto sub = subscriber("sub1");
+  auto pub = system_->make_publisher("pub1", "press", rng_);
+  net_.run_until_idle();
+  ASSERT_TRUE(sub->connected());
+  ASSERT_TRUE(pub->connected());
+
+  sub->subscribe({{"topic", "a"}});
+  net_.run_until_idle();
+  ASSERT_EQ(sub->token_count(), 1u);
+
+  pub->publish({{"topic", "a"}, {"tier", "x"}}, str_to_bytes("async"),
+               abe::parse_policy("m"), /*ttl=*/1e6);
+  net_.run_until_idle();
+  ASSERT_EQ(sub->deliveries().size(), 1u);
+  EXPECT_EQ(bytes_to_str(sub->deliveries()[0].payload), "async");
+}
+
+TEST_F(AsyncP3sTest, LostTokenResponseIsRecoverable) {
+  auto sub = subscriber("sub1");
+  auto pub = system_->make_publisher("pub1", "press", rng_);
+  net_.run_until_idle();
+
+  sub->subscribe({{"topic", "a"}});
+  // Lose the in-flight request on the wire: the whole exchange dies.
+  ASSERT_EQ(net_.in_flight(), 1u);
+  net_.drop_next(1);
+  net_.run_until_idle();
+  EXPECT_EQ(sub->token_count(), 0u);
+  EXPECT_EQ(net_.dropped_frames(), 1u);
+
+  // Application-level recovery (paper: loss is detectable; clients retry).
+  sub->refresh_tokens();
+  net_.run_until_idle();
+  EXPECT_EQ(sub->token_count(), 1u);
+
+  pub->publish({{"topic", "a"}, {"tier", "x"}}, str_to_bytes("ok"),
+               abe::parse_policy("m"), 1e6);
+  net_.run_until_idle();
+  EXPECT_EQ(sub->deliveries().size(), 1u);
+}
+
+TEST_F(AsyncP3sTest, ChannelRejectsReorderedRecordsButFlowRecovers) {
+  auto sub = subscriber("sub1");
+  auto pub = system_->make_publisher("pub1", "press", rng_);
+  net_.run_until_idle();
+  sub->subscribe({{"topic", "a"}});
+  net_.run_until_idle();
+
+  // Two publications sent while the wire delivers newest-first: the DS
+  // channel's strictly-increasing sequence numbers reject the older record
+  // (TLS semantics), so only the newer publication survives.
+  net_.set_reorder(true);
+  pub->publish({{"topic", "a"}, {"tier", "x"}}, str_to_bytes("first"),
+               abe::parse_policy("m"), 1e6);
+  pub->publish({{"topic", "a"}, {"tier", "y"}}, str_to_bytes("second"),
+               abe::parse_policy("m"), 1e6);
+  net_.run_until_idle();
+  net_.set_reorder(false);
+  EXPECT_LE(sub->deliveries().size(), 1u);
+
+  // In-order traffic afterwards fails (the channel lost sync) until the
+  // client re-establishes its session — the documented recovery path.
+  pub->connect();
+  net_.run_until_idle();
+  pub->publish({{"topic", "a"}, {"tier", "x"}}, str_to_bytes("recovered"),
+               abe::parse_policy("m"), 1e6);
+  net_.run_until_idle();
+  ASSERT_FALSE(sub->deliveries().empty());
+  EXPECT_EQ(bytes_to_str(sub->deliveries().back().payload), "recovered");
+}
+
+TEST_F(AsyncP3sTest, SlowConsumerMissesStrictlyDeletedItem) {
+  // The T_G = 0 race from §4.3, now with real asynchrony: the item expires
+  // while the subscriber's fetch is still in flight.
+  auto sub = subscriber("sub1");
+  auto pub = system_->make_publisher("pub1", "press", rng_);
+  net_.run_until_idle();
+  sub->subscribe({{"topic", "a"}});
+  net_.run_until_idle();
+
+  pub->publish({{"topic", "a"}, {"tier", "x"}}, str_to_bytes("ephemeral"),
+               abe::parse_policy("m"), /*ttl=*/1.0);
+  // Deliver the store + broadcast, but stall before the content request
+  // lands; meanwhile the TTL passes.
+  net_.run_until_idle();  // subscriber has matched and requested by now...
+  // ...actually the request was delivered too. Re-run with a stalled fetch:
+  // publish again and advance time past TTL before pumping the request.
+  pub->publish({{"topic", "a"}, {"tier", "y"}}, str_to_bytes("ephemeral2"),
+               abe::parse_policy("m"), /*ttl=*/1.0);
+  // Pump only the store + fan-out, not the fetch: deliver frames until the
+  // subscriber has matched (its request is then in flight).
+  const std::size_t before = sub->match_count();
+  while (sub->match_count() == before && net_.pump_one()) {
+  }
+  net_.advance(10);  // TTL passes while the request is in flight
+  system_->rs().garbage_collect();
+  net_.run_until_idle();
+  EXPECT_GE(sub->fetch_failures(), 1u);
+}
+
+}  // namespace
+}  // namespace p3s::core

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "broker/baseline.hpp"
+#include "net/network.hpp"
+
+namespace p3s::broker {
+namespace {
+
+class BaselineTest : public ::testing::Test {
+ protected:
+  net::DirectNetwork net_;
+  BaselineBroker broker_{net_, "broker"};
+};
+
+TEST_F(BaselineTest, DeliversToMatchingSubscribers) {
+  BaselineSubscriber s1(net_, "s1", "broker");
+  BaselineSubscriber s2(net_, "s2", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s1.subscribe({{"topic", "sports"}});
+  s2.subscribe({{"topic", "finance"}});
+
+  pub.publish({{"topic", "sports"}, {"lang", "en"}}, str_to_bytes("goal!"));
+  ASSERT_EQ(s1.received().size(), 1u);
+  EXPECT_EQ(bytes_to_str(s1.received()[0].payload), "goal!");
+  EXPECT_TRUE(s2.received().empty());
+}
+
+TEST_F(BaselineTest, WildcardViaAbsentAttribute) {
+  BaselineSubscriber s(net_, "s", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s.subscribe({{"lang", "en"}});  // any topic
+  pub.publish({{"topic", "a"}, {"lang", "en"}}, str_to_bytes("1"));
+  pub.publish({{"topic", "b"}, {"lang", "en"}}, str_to_bytes("2"));
+  pub.publish({{"topic", "b"}, {"lang", "fr"}}, str_to_bytes("3"));
+  EXPECT_EQ(s.received().size(), 2u);
+}
+
+TEST_F(BaselineTest, OneDeliveryPerSubscriberEvenWithMultipleMatchingSubs) {
+  BaselineSubscriber s(net_, "s", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s.subscribe({{"topic", "x"}});
+  s.subscribe({{"lang", "en"}});
+  pub.publish({{"topic", "x"}, {"lang", "en"}}, str_to_bytes("once"));
+  EXPECT_EQ(s.received().size(), 1u);
+}
+
+TEST_F(BaselineTest, MatchCostIsPerSubscriptionPerPublication) {
+  BaselineSubscriber s1(net_, "s1", "broker");
+  BaselineSubscriber s2(net_, "s2", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s1.subscribe({{"topic", "a"}});
+  s2.subscribe({{"topic", "b"}});
+  pub.publish({{"topic", "a"}}, str_to_bytes("m"));
+  pub.publish({{"topic", "b"}}, str_to_bytes("m"));
+  // The broker tested each of the 2 subscriptions against each of the 2
+  // publications — the N_s · t_match term of the paper's model.
+  EXPECT_EQ(broker_.match_operations(), 4u);
+  EXPECT_EQ(broker_.publications(), 2u);
+}
+
+TEST_F(BaselineTest, BrokerSeesEverythingInTheClear) {
+  // The privacy contrast with P3S: interests AND metadata are fully visible
+  // at the baseline broker.
+  BaselineSubscriber s(net_, "s", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s.subscribe({{"topic", "merger"}});
+  pub.publish({{"topic", "merger"}}, str_to_bytes("m"));
+  ASSERT_EQ(broker_.visible_interests().size(), 1u);
+  EXPECT_EQ(broker_.visible_interests()[0].at("topic"), "merger");
+  ASSERT_EQ(broker_.visible_metadata().size(), 1u);
+  EXPECT_EQ(broker_.visible_metadata()[0].at("topic"), "merger");
+}
+
+TEST_F(BaselineTest, MalformedFramesIgnored) {
+  EXPECT_NO_THROW(net_.send("x", "broker", Bytes{0xff, 1, 2}));
+  EXPECT_NO_THROW(net_.send("x", "broker", Bytes{}));
+  EXPECT_EQ(broker_.publications(), 0u);
+}
+
+TEST_F(BaselineTest, DeliveryCarriesMetadata) {
+  BaselineSubscriber s(net_, "s", "broker");
+  BaselinePublisher pub(net_, "p", "broker");
+  s.subscribe({{"topic", "t"}});
+  pub.publish({{"topic", "t"}, {"extra", "e"}}, str_to_bytes("m"));
+  ASSERT_EQ(s.received().size(), 1u);
+  EXPECT_EQ(s.received()[0].metadata.at("extra"), "e");
+}
+
+}  // namespace
+}  // namespace p3s::broker

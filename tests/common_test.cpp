@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "common/guid.hpp"
+#include "common/rng.hpp"
+#include "common/serial.hpp"
+
+namespace p3s {
+namespace {
+
+TEST(Bytes, HexRoundTrip) {
+  Bytes b = {0x00, 0x01, 0xab, 0xff};
+  EXPECT_EQ(to_hex(b), "0001abff");
+  EXPECT_EQ(from_hex("0001abff"), b);
+  EXPECT_EQ(from_hex("0001ABFF"), b);
+}
+
+TEST(Bytes, HexEmpty) {
+  EXPECT_EQ(to_hex({}), "");
+  EXPECT_TRUE(from_hex("").empty());
+}
+
+TEST(Bytes, HexRejectsMalformed) {
+  EXPECT_THROW(from_hex("abc"), std::invalid_argument);
+  EXPECT_THROW(from_hex("zz"), std::invalid_argument);
+}
+
+TEST(Bytes, StrRoundTrip) {
+  EXPECT_EQ(bytes_to_str(str_to_bytes("hello")), "hello");
+}
+
+TEST(Bytes, Concat) {
+  EXPECT_EQ(concat(str_to_bytes("ab"), str_to_bytes("cd")), str_to_bytes("abcd"));
+}
+
+TEST(Bytes, CtEqual) {
+  EXPECT_TRUE(ct_equal(str_to_bytes("abc"), str_to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("ab")));
+}
+
+TEST(Bytes, XorInplace) {
+  Bytes a = {0xff, 0x00};
+  xor_inplace(a, Bytes{0x0f, 0xf0});
+  EXPECT_EQ(a, (Bytes{0xf0, 0xf0}));
+  EXPECT_THROW(xor_inplace(a, Bytes{0x01}), std::invalid_argument);
+}
+
+TEST(Serial, IntRoundTrip) {
+  Writer w;
+  w.u8(0xab);
+  w.u16(0x1234);
+  w.u32(0xdeadbeef);
+  w.u64(0x0123456789abcdefull);
+  Reader r(w.data());
+  EXPECT_EQ(r.u8(), 0xab);
+  EXPECT_EQ(r.u16(), 0x1234);
+  EXPECT_EQ(r.u32(), 0xdeadbeefu);
+  EXPECT_EQ(r.u64(), 0x0123456789abcdefull);
+  EXPECT_TRUE(r.done());
+}
+
+TEST(Serial, BytesAndStrings) {
+  Writer w;
+  w.bytes(str_to_bytes("payload"));
+  w.str("metadata");
+  w.raw(Bytes{1, 2, 3});
+  Reader r(w.data());
+  EXPECT_EQ(bytes_to_str(r.bytes()), "payload");
+  EXPECT_EQ(r.str(), "metadata");
+  EXPECT_EQ(r.raw(3), (Bytes{1, 2, 3}));
+  EXPECT_NO_THROW(r.expect_done());
+}
+
+TEST(Serial, TruncationDetected) {
+  Writer w;
+  w.u32(7);
+  Reader r(w.data());
+  EXPECT_THROW(r.u64(), std::out_of_range);
+}
+
+TEST(Serial, LengthPrefixTruncationDetected) {
+  Writer w;
+  w.u32(100);  // claims 100 bytes follow, none do
+  Reader r(w.data());
+  EXPECT_THROW(r.bytes(), std::out_of_range);
+}
+
+TEST(Serial, TrailingBytesDetected) {
+  Writer w;
+  w.u16(1);
+  Reader r(w.data());
+  r.u8();
+  EXPECT_THROW(r.expect_done(), std::invalid_argument);
+}
+
+TEST(Rng, DeterministicWithSeed) {
+  TestRng a(42), b(42), c(43);
+  EXPECT_EQ(a.bytes(32), b.bytes(32));
+  TestRng a2(42);
+  EXPECT_NE(a2.bytes(32), c.bytes(32));
+}
+
+TEST(Rng, UniformRespectsBound) {
+  TestRng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.uniform(17), 17u);
+  }
+  EXPECT_EQ(rng.uniform(1), 0u);
+  EXPECT_THROW(rng.uniform(0), std::invalid_argument);
+}
+
+TEST(Rng, UniformCoversRange) {
+  TestRng rng(7);
+  bool seen[8] = {};
+  for (int i = 0; i < 200; ++i) seen[rng.uniform(8)] = true;
+  for (bool s : seen) EXPECT_TRUE(s);
+}
+
+TEST(Guid, RandomIsUniqueAndNonNull) {
+  TestRng rng(3);
+  Guid a = Guid::random(rng);
+  Guid b = Guid::random(rng);
+  EXPECT_NE(a, b);
+  EXPECT_FALSE(a.is_null());
+  EXPECT_TRUE(Guid{}.is_null());
+}
+
+TEST(Guid, RoundTripsThroughBytesAndHex) {
+  TestRng rng(4);
+  Guid g = Guid::random(rng);
+  EXPECT_EQ(Guid::from_bytes(g.to_bytes()), g);
+  EXPECT_EQ(Guid::from_hex(g.to_hex()), g);
+  EXPECT_EQ(g.to_hex().size(), 32u);
+}
+
+TEST(Guid, FromBytesRejectsWrongSize) {
+  EXPECT_THROW(Guid::from_bytes(Bytes(15)), std::invalid_argument);
+  EXPECT_THROW(Guid::from_bytes(Bytes(17)), std::invalid_argument);
+}
+
+TEST(Guid, HashDistributes) {
+  TestRng rng(5);
+  std::hash<Guid> h;
+  Guid a = Guid::random(rng);
+  Guid b = Guid::random(rng);
+  EXPECT_NE(h(a), h(b));  // overwhelmingly likely
+  EXPECT_EQ(h(a), h(Guid::from_bytes(a.to_bytes())));
+}
+
+}  // namespace
+}  // namespace p3s

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "crypto/chacha20.hpp"
+#include "crypto/drbg.hpp"
+#include "crypto/hmac.hpp"
+#include "crypto/poly1305.hpp"
+#include "crypto/sha256.hpp"
+
+namespace p3s::crypto {
+namespace {
+
+// --- SHA-256 (FIPS 180-4 / NIST CAVS vectors) -------------------------------
+
+TEST(Sha256, EmptyString) {
+  EXPECT_EQ(to_hex(Sha256::digest({})),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256, Abc) {
+  EXPECT_EQ(to_hex(Sha256::digest(str_to_bytes("abc"))),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256, TwoBlockMessage) {
+  EXPECT_EQ(to_hex(Sha256::digest(str_to_bytes(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq"))),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256, MillionAs) {
+  Sha256 h;
+  const Bytes chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.update(chunk);
+  EXPECT_EQ(to_hex(h.finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256, IncrementalMatchesOneShot) {
+  TestRng rng(1);
+  const Bytes data = rng.bytes(1000);
+  for (std::size_t split : {0u, 1u, 63u, 64u, 65u, 999u, 1000u}) {
+    Sha256 h;
+    h.update(BytesView(data.data(), split));
+    h.update(BytesView(data.data() + split, data.size() - split));
+    EXPECT_EQ(h.finish(), Sha256::digest(data)) << split;
+  }
+}
+
+TEST(Sha256, UpdateAfterFinishThrows) {
+  Sha256 h;
+  h.update(str_to_bytes("x"));
+  h.finish();
+  EXPECT_THROW(h.update(str_to_bytes("y")), std::logic_error);
+  EXPECT_THROW(h.finish(), std::logic_error);
+}
+
+// --- HMAC-SHA256 (RFC 4231 vectors) ------------------------------------------
+
+TEST(Hmac, Rfc4231Case1) {
+  const Bytes key(20, 0x0b);
+  EXPECT_EQ(to_hex(hmac_sha256(key, str_to_bytes("Hi There"))),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+TEST(Hmac, Rfc4231Case2) {
+  EXPECT_EQ(to_hex(hmac_sha256(str_to_bytes("Jefe"),
+                               str_to_bytes("what do ya want for nothing?"))),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+TEST(Hmac, Rfc4231Case3) {
+  const Bytes key(20, 0xaa);
+  const Bytes data(50, 0xdd);
+  EXPECT_EQ(to_hex(hmac_sha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+TEST(Hmac, LongKeyIsHashed) {
+  const Bytes key(131, 0xaa);
+  EXPECT_EQ(to_hex(hmac_sha256(
+                key, str_to_bytes("Test Using Larger Than Block-Size Key - "
+                                  "Hash Key First"))),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+// --- HKDF (RFC 5869 vectors) --------------------------------------------------
+
+TEST(Hkdf, Rfc5869Case1) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes salt = from_hex("000102030405060708090a0b0c");
+  const Bytes info = from_hex("f0f1f2f3f4f5f6f7f8f9");
+  const Bytes okm = hkdf(salt, ikm, info, 42);
+  EXPECT_EQ(to_hex(okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf"
+            "34007208d5b887185865");
+}
+
+TEST(Hkdf, Rfc5869Case3EmptySaltInfo) {
+  const Bytes ikm(22, 0x0b);
+  const Bytes okm = hkdf({}, ikm, {}, 42);
+  EXPECT_EQ(to_hex(okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d"
+            "9d201395faa4b61a96c8");
+}
+
+TEST(Hkdf, RejectsOversizedOutput) {
+  EXPECT_THROW(hkdf_expand(Bytes(32), {}, 255 * 32 + 1), std::invalid_argument);
+}
+
+// --- ChaCha20 (RFC 8439 §2.4.2) ------------------------------------------------
+
+TEST(ChaCha20Cipher, Rfc8439Vector) {
+  const Bytes key = from_hex(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f");
+  const Bytes nonce = from_hex("000000000000004a00000000");
+  const std::string plaintext =
+      "Ladies and Gentlemen of the class of '99: If I could offer you only "
+      "one tip for the future, sunscreen would be it.";
+  const Bytes ct = ChaCha20::crypt(key, nonce, str_to_bytes(plaintext), 1);
+  EXPECT_EQ(to_hex(Bytes(ct.begin(), ct.begin() + 32)),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b");
+  // Decryption is the same operation.
+  EXPECT_EQ(bytes_to_str(ChaCha20::crypt(key, nonce, ct, 1)), plaintext);
+}
+
+TEST(ChaCha20Cipher, RejectsBadSizes) {
+  EXPECT_THROW(ChaCha20(Bytes(31), Bytes(12)), std::invalid_argument);
+  EXPECT_THROW(ChaCha20(Bytes(32), Bytes(11)), std::invalid_argument);
+}
+
+// --- Poly1305 (RFC 8439 §2.5.2) -------------------------------------------------
+
+TEST(Poly1305, Rfc8439Vector) {
+  const Bytes key = from_hex(
+      "85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+  const Bytes tag = poly1305_tag(key, str_to_bytes("Cryptographic Forum Research Group"));
+  EXPECT_EQ(to_hex(tag), "a8061dc1305136c6c22b8baf0c0127a9");
+}
+
+TEST(Poly1305, EmptyMessage) {
+  // With r = 0 the polynomial is 0 and the tag equals s.
+  Bytes key(32, 0);
+  for (int i = 16; i < 32; ++i) key[i] = static_cast<std::uint8_t>(i);
+  const Bytes tag = poly1305_tag(key, {});
+  EXPECT_EQ(tag, Bytes(key.begin() + 16, key.end()));
+}
+
+TEST(Poly1305, RejectsBadKeySize) {
+  EXPECT_THROW(poly1305_tag(Bytes(16), {}), std::invalid_argument);
+}
+
+// --- AEAD ----------------------------------------------------------------------
+
+TEST(Aead, RoundTrip) {
+  TestRng rng(2);
+  const Bytes key = rng.bytes(32);
+  const Bytes pt = str_to_bytes("publication payload");
+  const Bytes aad = str_to_bytes("guid-0001");
+  const AeadCiphertext ct = aead_encrypt(key, pt, aad, rng);
+  const auto out = aead_decrypt(key, ct, aad);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, pt);
+}
+
+TEST(Aead, WrongKeyFails) {
+  TestRng rng(3);
+  const Bytes key = rng.bytes(32);
+  Bytes key2 = key;
+  key2[0] ^= 1;
+  const AeadCiphertext ct = aead_encrypt(key, str_to_bytes("secret"), {}, rng);
+  EXPECT_FALSE(aead_decrypt(key2, ct, {}).has_value());
+}
+
+TEST(Aead, WrongAadFails) {
+  TestRng rng(4);
+  const Bytes key = rng.bytes(32);
+  const AeadCiphertext ct =
+      aead_encrypt(key, str_to_bytes("secret"), str_to_bytes("a"), rng);
+  EXPECT_FALSE(aead_decrypt(key, ct, str_to_bytes("b")).has_value());
+}
+
+TEST(Aead, TamperedCiphertextFails) {
+  TestRng rng(5);
+  const Bytes key = rng.bytes(32);
+  AeadCiphertext ct = aead_encrypt(key, str_to_bytes("secret"), {}, rng);
+  ct.body[0] ^= 0x80;
+  EXPECT_FALSE(aead_decrypt(key, ct, {}).has_value());
+}
+
+TEST(Aead, TamperedTagFails) {
+  TestRng rng(6);
+  const Bytes key = rng.bytes(32);
+  AeadCiphertext ct = aead_encrypt(key, str_to_bytes("secret"), {}, rng);
+  ct.body.back() ^= 1;
+  EXPECT_FALSE(aead_decrypt(key, ct, {}).has_value());
+}
+
+TEST(Aead, EmptyPlaintextRoundTrip) {
+  TestRng rng(7);
+  const Bytes key = rng.bytes(32);
+  const AeadCiphertext ct = aead_encrypt(key, {}, {}, rng);
+  const auto out = aead_decrypt(key, ct, {});
+  ASSERT_TRUE(out.has_value());
+  EXPECT_TRUE(out->empty());
+}
+
+TEST(Aead, SerializationRoundTrip) {
+  TestRng rng(8);
+  const Bytes key = rng.bytes(32);
+  const AeadCiphertext ct = aead_encrypt(key, str_to_bytes("x"), {}, rng);
+  const AeadCiphertext ct2 = AeadCiphertext::deserialize(ct.serialize());
+  EXPECT_EQ(ct2.nonce, ct.nonce);
+  EXPECT_EQ(ct2.body, ct.body);
+  const auto out = aead_decrypt(key, ct2, {});
+  ASSERT_TRUE(out.has_value());
+}
+
+TEST(Aead, DeserializeRejectsGarbage) {
+  EXPECT_THROW(AeadCiphertext::deserialize(Bytes{1, 2, 3}), std::exception);
+}
+
+// --- DRBG ------------------------------------------------------------------------
+
+TEST(Drbg, DeterministicWithSeed) {
+  Drbg a(str_to_bytes("seed"));
+  Drbg b(str_to_bytes("seed"));
+  EXPECT_EQ(a.bytes(100), b.bytes(100));
+}
+
+TEST(Drbg, DifferentSeedsDiffer) {
+  Drbg a(str_to_bytes("seed-1"));
+  Drbg b(str_to_bytes("seed-2"));
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+TEST(Drbg, StreamsDoNotRepeatAcrossRefills) {
+  Drbg a(str_to_bytes("seed"));
+  const Bytes first = a.bytes(960);
+  const Bytes second = a.bytes(960);
+  EXPECT_NE(first, second);
+}
+
+TEST(Drbg, SystemSeededProducesDistinctStreams) {
+  Drbg a, b;
+  EXPECT_NE(a.bytes(64), b.bytes(64));
+}
+
+}  // namespace
+}  // namespace p3s::crypto

@@ -1,0 +1,229 @@
+// The paper's §6.1 semi-formal privacy analysis, executed: each claim about
+// who can derive what becomes a machine-checked property of the gadget
+// graphs.
+#include <gtest/gtest.h>
+
+#include "gadget/gadget.hpp"
+
+namespace p3s::gadget {
+namespace {
+
+TEST(Gadget, AndGateRequiresAllInputs) {
+  Gadget g;
+  const NodeId a = g.add_info("a");
+  const NodeId b = g.add_info("b");
+  const NodeId c = g.add_info("c", /*sensitive=*/true);
+  g.add_derivation("op", {a, b}, c);
+
+  EXPECT_FALSE(g.derivable({a}, c));
+  EXPECT_FALSE(g.derivable({b}, c));
+  EXPECT_TRUE(g.derivable({a, b}, c));
+}
+
+TEST(Gadget, AlternativeDerivationsAreOr) {
+  Gadget g;
+  const NodeId a = g.add_info("a");
+  const NodeId b = g.add_info("b");
+  const NodeId m = g.add_info("m");
+  g.add_derivation("path1", {a}, m);
+  g.add_derivation("path2", {b}, m);
+  EXPECT_TRUE(g.derivable({a}, m));
+  EXPECT_TRUE(g.derivable({b}, m));
+  EXPECT_FALSE(g.derivable({}, m));
+}
+
+TEST(Gadget, TransitiveClosure) {
+  Gadget g;
+  const NodeId a = g.add_info("a");
+  const NodeId b = g.add_info("b");
+  const NodeId c = g.add_info("c");
+  const NodeId d = g.add_info("d");
+  g.add_derivation("s1", {a}, b);
+  g.add_derivation("s2", {b}, c);
+  g.add_derivation("s3", {c}, d);
+  EXPECT_TRUE(g.derivable({a}, d));
+}
+
+TEST(Gadget, CyclicDependenciesTerminate) {
+  Gadget g;
+  const NodeId a = g.add_info("a");
+  const NodeId b = g.add_info("b");
+  g.add_derivation("ab", {a}, b);
+  g.add_derivation("ba", {b}, a);
+  EXPECT_TRUE(g.derivable({a}, b));
+  EXPECT_FALSE(g.derivable({}, a));
+}
+
+TEST(Gadget, UnknownElementThrows) {
+  Gadget g;
+  g.add_info("a");
+  EXPECT_THROW(g.find("zzz"), std::out_of_range);
+  EXPECT_THROW(g.add_info("a"), std::invalid_argument);
+}
+
+// --- PBE gadget: the claims of §6.1 ------------------------------------------------
+
+class PbeGadgetTest : public ::testing::Test {
+ protected:
+  Gadget g_ = make_pbe_gadget();
+};
+
+TEST_F(PbeGadgetTest, HbcSubscriberCannotLearnMetadataFromBroadcast) {
+  // An HBC subscriber holds the public key, the ciphertexts it receives,
+  // and its own token — but neither x (metadata) nor others' y.
+  Knowledge k;
+  k.sees_all(g_, {"pk_pbe", "ct_pbe", "t_y", "X"});
+  // x is NOT derivable (attribute hiding): it would need the full token set.
+  EXPECT_FALSE(g_.derivable(k.nodes(), "x"));
+}
+
+TEST_F(PbeGadgetTest, MatchingTokenRevealsExactlyTheGuid) {
+  Knowledge k;
+  k.sees_all(g_, {"ct_pbe", "t_y"});
+  EXPECT_TRUE(g_.derivable(k.nodes(), "m"));   // the GUID
+  EXPECT_FALSE(g_.derivable(k.nodes(), "x"));  // not the metadata
+}
+
+TEST_F(PbeGadgetTest, TokenProbingAttackRevealsInterest) {
+  // Paper (orange edges): "If a participant is able to obtain a token t_y
+  // and create encrypted metadata, it will be able to reveal y."
+  Knowledge malicious;
+  malicious.sees_all(g_, {"t_y", "pk_pbe", "X"});
+  EXPECT_TRUE(g_.derivable(malicious.nodes(), "y"));
+}
+
+TEST_F(PbeGadgetTest, WithoutTheTokenInterestIsSafe) {
+  Knowledge k;
+  k.sees_all(g_, {"pk_pbe", "X", "ct_pbe"});
+  EXPECT_FALSE(g_.derivable(k.nodes(), "y"));
+}
+
+TEST_F(PbeGadgetTest, TokenAccumulationAttackRevealsMetadata) {
+  // "if a subscriber can subscribe to all or a significant part of the
+  // space of all possible subscription interests ... he can test any given
+  // ciphertext against all tokens to reveal the attribute vector x."
+  Knowledge hoarder;
+  hoarder.sees_all(g_, {"ct_pbe", "T_Y", "Y"});
+  EXPECT_TRUE(g_.derivable(hoarder.nodes(), "x"));
+}
+
+TEST_F(PbeGadgetTest, PbeTsSeesInterestButNotBinding) {
+  // The PBE-TS knows y (plaintext predicate) and its master key, but never
+  // sees sid — so the association a_sid_y stays out of reach.
+  Knowledge ts;
+  ts.sees_all(g_, {"y", "sk_pbe", "pk_pbe"});
+  EXPECT_FALSE(g_.derivable(ts.nodes(), "a_sid_y"));
+  // Without the anonymizer it ALSO sees sid; then the binding falls.
+  Knowledge ts_noanon = ts;
+  ts_noanon.sees(g_, "sid");
+  EXPECT_TRUE(g_.derivable(ts_noanon.nodes(), "a_sid_y"));
+}
+
+TEST_F(PbeGadgetTest, CollusionIsUnionOfIndividualViews) {
+  // Two HBC subscribers pooling tokens learn what either could learn alone
+  // with the shared material — the paper: "such sharing does not reveal any
+  // more information than the union of the information revealed by them
+  // individually."
+  Knowledge s1;
+  s1.sees_all(g_, {"pk_pbe", "ct_pbe", "t_y"});
+  Knowledge s2;
+  s2.sees_all(g_, {"pk_pbe", "ct_pbe"});
+  const auto pooled = Knowledge::pool(s1, s2);
+  const auto view1 = g_.derive(s1.nodes());
+  const auto view2 = g_.derive(s2.nodes());
+  std::set<NodeId> union_views = view1;
+  union_views.insert(view2.begin(), view2.end());
+  EXPECT_EQ(g_.derive(pooled.nodes()), union_views);
+}
+
+TEST_F(PbeGadgetTest, SensitiveExposureReport) {
+  Knowledge malicious;
+  malicious.sees_all(g_, {"t_y", "pk_pbe", "X", "ct_pbe"});
+  const auto exposed = g_.exposed_sensitive(malicious.nodes());
+  // y via probing, then m via query.
+  EXPECT_NE(std::find(exposed.begin(), exposed.end(), "y"), exposed.end());
+  EXPECT_NE(std::find(exposed.begin(), exposed.end(), "m"), exposed.end());
+}
+
+// --- CP-ABE gadget --------------------------------------------------------------
+
+class CpabeGadgetTest : public ::testing::Test {
+ protected:
+  Gadget g_ = make_cpabe_gadget();
+};
+
+TEST_F(CpabeGadgetTest, PolicyIsPublicFromCiphertext) {
+  Knowledge rs;
+  rs.sees(g_, "ct_abe");
+  EXPECT_TRUE(g_.derivable(rs.nodes(), "policy"));
+  EXPECT_FALSE(g_.derivable(rs.nodes(), "m_A"));
+}
+
+TEST_F(CpabeGadgetTest, SatisfyingKeyDecrypts) {
+  Knowledge sub;
+  sub.sees_all(g_, {"ct_abe", "sk_S", "S_satisfies_policy"});
+  EXPECT_TRUE(g_.derivable(sub.nodes(), "m_A"));
+}
+
+TEST_F(CpabeGadgetTest, NonSatisfyingKeyDoesNot) {
+  Knowledge sub;
+  sub.sees_all(g_, {"ct_abe", "sk_S"});
+  EXPECT_FALSE(g_.derivable(sub.nodes(), "m_A"));
+}
+
+TEST_F(CpabeGadgetTest, KeysComeOnlyFromMasterKey) {
+  Knowledge k;
+  k.sees_all(g_, {"S", "pk_abe"});
+  EXPECT_FALSE(g_.derivable(k.nodes(), "sk_S"));
+  k.sees(g_, "mk_abe");
+  EXPECT_TRUE(g_.derivable(k.nodes(), "sk_S"));
+}
+
+// --- PK / SK gadgets ---------------------------------------------------------------
+
+TEST(PkGadget, OnlyServiceKeyOpensEnvelope) {
+  Gadget g = make_pk_gadget();
+  Knowledge eavesdropper;
+  eavesdropper.sees_all(g, {"ct_pk", "pk_svc"});
+  EXPECT_FALSE(g.derivable(eavesdropper.nodes(), "m_pk"));
+  Knowledge service;
+  service.sees_all(g, {"ct_pk", "sk_svc"});
+  EXPECT_TRUE(g.derivable(service.nodes(), "m_pk"));
+}
+
+TEST(SkGadget, KsHolderOpens) {
+  Gadget g = make_sk_gadget();
+  Knowledge k;
+  k.sees(g, "ct_sk");
+  EXPECT_FALSE(g.derivable(k.nodes(), "m_sk"));
+  k.sees(g, "Ks");
+  EXPECT_TRUE(g.derivable(k.nodes(), "m_sk"));
+}
+
+// --- End-to-end composition: the P3S flow across gadgets --------------------------
+
+TEST(P3sComposition, DsView) {
+  // The DS sees PBE and CP-ABE ciphertexts plus the PBE public key — none
+  // of the sensitive elements fall out.
+  Gadget pbe = make_pbe_gadget();
+  Knowledge ds;
+  ds.sees_all(pbe, {"ct_pbe", "pk_pbe"});
+  EXPECT_TRUE(pbe.exposed_sensitive(ds.nodes()).empty());
+
+  Gadget cpabe = make_cpabe_gadget();
+  Knowledge ds2;
+  ds2.sees(cpabe, "ct_abe");
+  EXPECT_TRUE(cpabe.exposed_sensitive(ds2.nodes()).empty());
+}
+
+TEST(P3sComposition, RsView) {
+  Gadget cpabe = make_cpabe_gadget();
+  Knowledge rs;
+  rs.sees_all(cpabe, {"ct_abe", "pk_abe"});
+  // Policy becomes visible (allowed), payload does not.
+  EXPECT_TRUE(cpabe.derivable(rs.nodes(), "policy"));
+  EXPECT_TRUE(cpabe.exposed_sensitive(rs.nodes()).empty());
+}
+
+}  // namespace
+}  // namespace p3s::gadget

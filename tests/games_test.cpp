@@ -1,0 +1,204 @@
+// Game-style security tests (paper §8: "we are performing formal security
+// analysis of P3S using indistinguishability games to complement the
+// semi-formal analysis"). Full computational indistinguishability cannot be
+// decided by a unit test; what CAN be checked mechanically is the
+// *structure* of each game: that the adversary's observable outcomes are
+// identical across the challenge branches whenever the game's legality
+// condition holds, and that encryption is properly randomized (no
+// deterministic leakage channel).
+#include <gtest/gtest.h>
+
+#include "abe/cpabe.hpp"
+#include "common/rng.hpp"
+#include "crypto/aead.hpp"
+#include "net/secure.hpp"
+#include "pbe/hve.hpp"
+
+namespace p3s {
+namespace {
+
+using pairing::Pairing;
+
+// --- HVE attribute-hiding game -------------------------------------------------------
+// Adversary picks x0, x1 and any set of tokens with match(x0) == match(x1);
+// challenger encrypts under x_b. Legal-adversary view: the outcome of every
+// token query must be identical on both branches.
+
+class HveGameTest : public ::testing::Test {
+ protected:
+  static constexpr std::size_t kWidth = 8;
+  pbe::HveKeys keys_ = pbe::hve_setup(Pairing::test_pairing(), kWidth,
+                                      *(rng_ = new TestRng(0x6a3e)));
+  static TestRng* rng_;
+  void TearDown() override {}
+};
+TestRng* HveGameTest::rng_ = nullptr;
+
+TEST_F(HveGameTest, LegalTokensCannotSeparateChallengeVectors) {
+  TestRng rng(0x91);
+  for (int trial = 0; trial < 10; ++trial) {
+    // Two attribute vectors differing in several positions.
+    pbe::BitVector x0(kWidth), x1(kWidth);
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      x0[i] = static_cast<std::uint8_t>(rng.uniform(2));
+      x1[i] = static_cast<std::uint8_t>(rng.uniform(2));
+    }
+    // Legal token: wildcard everywhere the vectors differ, concrete match
+    // (or concrete mismatch) where they agree — so match(x0) == match(x1).
+    pbe::Pattern w(kWidth, pbe::kWildcard);
+    for (std::size_t i = 0; i < kWidth; ++i) {
+      if (x0[i] == x1[i] && rng.uniform(2) == 0) {
+        w[i] = static_cast<std::int8_t>(x0[i]);
+      }
+    }
+    bool concrete = false;
+    for (auto s : w) concrete |= (s != pbe::kWildcard);
+    if (!concrete) {
+      // Force one legal concrete position (all-wildcard tokens rejected).
+      for (std::size_t i = 0; i < kWidth; ++i) {
+        if (x0[i] == x1[i]) {
+          w[i] = static_cast<std::int8_t>(x0[i]);
+          concrete = true;
+          break;
+        }
+      }
+      if (!concrete) continue;  // vectors differ everywhere: skip trial
+    }
+    ASSERT_TRUE(pbe::hve_match_plain(x0, w) == pbe::hve_match_plain(x1, w));
+
+    const auto tok = pbe::hve_gen_token(keys_, w, rng);
+    const Bytes payload = rng.bytes(16);
+    const Bytes ct0 = pbe::hve_encrypt_bytes(keys_.pk, x0, payload, rng);
+    const Bytes ct1 = pbe::hve_encrypt_bytes(keys_.pk, x1, payload, rng);
+    const auto out0 = pbe::hve_query_bytes(*keys_.pk.pairing, tok, ct0);
+    const auto out1 = pbe::hve_query_bytes(*keys_.pk.pairing, tok, ct1);
+    // Outcome pattern is identical on both branches.
+    EXPECT_EQ(out0.has_value(), out1.has_value());
+    if (out0.has_value()) {
+      EXPECT_EQ(*out0, payload);
+      EXPECT_EQ(*out1, payload);
+    }
+  }
+}
+
+TEST_F(HveGameTest, EncryptionIsRandomized) {
+  TestRng rng(0x92);
+  const pbe::BitVector x(kWidth, 1);
+  const Bytes payload = rng.bytes(16);
+  const Bytes ct1 = pbe::hve_encrypt_bytes(keys_.pk, x, payload, rng);
+  const Bytes ct2 = pbe::hve_encrypt_bytes(keys_.pk, x, payload, rng);
+  EXPECT_NE(ct1, ct2);  // no deterministic-encryption leakage channel
+}
+
+TEST_F(HveGameTest, CiphertextSizeIndependentOfAttributeValues) {
+  // Size is the only thing an outsider sees; it must not depend on x.
+  TestRng rng(0x93);
+  const Bytes payload = rng.bytes(16);
+  const Bytes ct0 =
+      pbe::hve_encrypt_bytes(keys_.pk, pbe::BitVector(kWidth, 0), payload, rng);
+  const Bytes ct1 =
+      pbe::hve_encrypt_bytes(keys_.pk, pbe::BitVector(kWidth, 1), payload, rng);
+  EXPECT_EQ(ct0.size(), ct1.size());
+}
+
+TEST_F(HveGameTest, MismatchOutputIsUnpredictable) {
+  // A non-matching query must not produce a stable value an adversary
+  // could use as an oracle across ciphertexts.
+  TestRng rng(0x94);
+  pbe::Pattern w(kWidth, pbe::kWildcard);
+  w[0] = 1;
+  const auto tok = pbe::hve_gen_token(keys_, w, rng);
+  const pbe::BitVector x(kWidth, 0);  // mismatch at position 0
+  const auto m1 = keys_.pk.pairing->random_gt(rng);
+  const auto m2 = keys_.pk.pairing->random_gt(rng);
+  const auto ct1 = pbe::hve_encrypt(keys_.pk, x, m1, rng);
+  const auto ct2 = pbe::hve_encrypt(keys_.pk, x, m2, rng);
+  const auto q1 = pbe::hve_query(*keys_.pk.pairing, tok, ct1);
+  const auto q2 = pbe::hve_query(*keys_.pk.pairing, tok, ct2);
+  EXPECT_NE(q1, m1);
+  EXPECT_NE(q2, m2);
+  EXPECT_NE(q1, q2);  // fresh randomness per ciphertext
+}
+
+// --- CP-ABE payload-hiding game ------------------------------------------------------
+
+class CpabeGameTest : public ::testing::Test {
+ protected:
+  TestRng rng_{0xca};
+  abe::CpabeKeys keys_ = abe::cpabe_setup(Pairing::test_pairing(), rng_);
+};
+
+TEST_F(CpabeGameTest, NonSatisfyingKeysCannotSeparateMessages) {
+  const auto policy = abe::parse_policy("alpha and beta");
+  const auto sk = abe::cpabe_keygen(keys_, {"alpha"}, rng_);  // not satisfying
+  for (int trial = 0; trial < 5; ++trial) {
+    const Bytes m0 = rng_.bytes(64);
+    const Bytes m1 = rng_.bytes(64);
+    const Bytes ct0 = abe::cpabe_encrypt_bytes(keys_.pk, m0, policy, rng_);
+    const Bytes ct1 = abe::cpabe_encrypt_bytes(keys_.pk, m1, policy, rng_);
+    // The adversary's only capability — decrypting with its key — yields
+    // the same outcome (failure) on both branches.
+    EXPECT_FALSE(abe::cpabe_decrypt_bytes(keys_.pk, sk, ct0).has_value());
+    EXPECT_FALSE(abe::cpabe_decrypt_bytes(keys_.pk, sk, ct1).has_value());
+    // And sizes match for same-length messages.
+    EXPECT_EQ(ct0.size(), ct1.size());
+  }
+}
+
+TEST_F(CpabeGameTest, EncryptionIsRandomized) {
+  const auto policy = abe::parse_policy("alpha");
+  const auto m = keys_.pk.pairing->random_gt(rng_);
+  const auto ct1 = abe::cpabe_encrypt(keys_.pk, m, policy, rng_);
+  const auto ct2 = abe::cpabe_encrypt(keys_.pk, m, policy, rng_);
+  EXPECT_NE(ct1.c_tilde, ct2.c_tilde);
+  EXPECT_NE(ct1.c, ct2.c);
+}
+
+TEST_F(CpabeGameTest, TwoNonSatisfyingKeysRemainUselessTogether) {
+  // Collusion game: the challenge stays hidden from the union of two keys
+  // that individually fail (verified by attempting both plus the merged
+  // key — see CpabeTest.CollusionResistance for the merge itself).
+  const auto policy = abe::parse_policy("alpha and beta and gamma");
+  const auto sk1 = abe::cpabe_keygen(keys_, {"alpha", "beta"}, rng_);
+  const auto sk2 = abe::cpabe_keygen(keys_, {"gamma"}, rng_);
+  const Bytes m = rng_.bytes(32);
+  const Bytes ct = abe::cpabe_encrypt_bytes(keys_.pk, m, policy, rng_);
+  EXPECT_FALSE(abe::cpabe_decrypt_bytes(keys_.pk, sk1, ct).has_value());
+  EXPECT_FALSE(abe::cpabe_decrypt_bytes(keys_.pk, sk2, ct).has_value());
+}
+
+// --- AEAD / secure channel games ---------------------------------------------------
+
+TEST(AeadGame, EqualLengthMessagesGiveEqualLengthCiphertexts) {
+  TestRng rng(0xae);
+  const Bytes key = rng.bytes(32);
+  const auto c0 = crypto::aead_encrypt(key, Bytes(100, 0x00), {}, rng);
+  const auto c1 = crypto::aead_encrypt(key, Bytes(100, 0xff), {}, rng);
+  EXPECT_EQ(c0.body.size(), c1.body.size());
+}
+
+TEST(AeadGame, CiphertextsNeverRepeat) {
+  TestRng rng(0xaf);
+  const Bytes key = rng.bytes(32);
+  const Bytes m = rng.bytes(50);
+  std::set<Bytes> seen;
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_TRUE(seen.insert(crypto::aead_encrypt(key, m, {}, rng).body).second);
+  }
+}
+
+TEST(ChannelGame, RecordsLeakOnlyLengthAndSequence) {
+  auto pp = Pairing::test_pairing();
+  TestRng rng(0xb0);
+  const auto kp = pairing::ecies_keygen(*pp, rng);
+  Bytes hello;
+  net::SecureSession client = net::SecureSession::initiate(
+      *pp, kp.public_key, rng, hello);
+  const Bytes r0 = client.seal(Bytes(64, 0x00), rng);
+  const Bytes r1 = client.seal(Bytes(64, 0xff), rng);
+  EXPECT_EQ(r0.size(), r1.size());
+  EXPECT_NE(Bytes(r0.begin() + 8, r0.end()), Bytes(r1.begin() + 8, r1.end()));
+}
+
+}  // namespace
+}  // namespace p3s

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "p3s/credentials.hpp"
+#include "p3s/messages.hpp"
+
+namespace p3s::core {
+namespace {
+
+TEST(Messages, FrameTypeRoundTrip) {
+  for (std::uint8_t t = 1; t <= 18; ++t) {
+    const Bytes f = frame(static_cast<FrameType>(t), str_to_bytes("body"));
+    Reader r(f);
+    EXPECT_EQ(static_cast<std::uint8_t>(read_frame_type(r)), t);
+    EXPECT_EQ(bytes_to_str(r.raw(4)), "body");
+  }
+}
+
+TEST(Messages, UnknownFrameTypeRejected) {
+  for (std::uint8_t t : {std::uint8_t{0}, std::uint8_t{19}, std::uint8_t{255}}) {
+    Bytes f{t};
+    Reader r(f);
+    EXPECT_THROW(read_frame_type(r), std::invalid_argument) << int(t);
+  }
+  Reader empty(Bytes{});
+  EXPECT_THROW(read_frame_type(empty), std::out_of_range);
+}
+
+TEST(Messages, TaggedFrameRoundTrip) {
+  const Bytes f =
+      tagged_frame(FrameType::kTokenRequest, 0xdeadbeefull, str_to_bytes("p"));
+  Reader r(f);
+  EXPECT_EQ(read_frame_type(r), FrameType::kTokenRequest);
+  const TaggedBody body = read_tagged(r);
+  EXPECT_EQ(body.tag, 0xdeadbeefull);
+  EXPECT_EQ(bytes_to_str(body.payload), "p");
+}
+
+TEST(Messages, ContentBodyRoundTripClearGuid) {
+  TestRng rng(1);
+  ContentBody body;
+  body.guid_wrapped = false;
+  body.guid_field = Guid::random(rng).to_bytes();
+  body.ttl_seconds = 123.456;
+  body.abe_ciphertext = rng.bytes(64);
+  const Bytes wire = content_body(body);
+  Reader r2(wire);
+  const ContentBody out = read_content(r2);
+  EXPECT_FALSE(out.guid_wrapped);
+  EXPECT_EQ(out.guid_field, body.guid_field);
+  EXPECT_NEAR(out.ttl_seconds, body.ttl_seconds, 0.001);  // ms precision
+  EXPECT_EQ(out.abe_ciphertext, body.abe_ciphertext);
+}
+
+TEST(Messages, ContentBodyRoundTripWrappedGuid) {
+  TestRng rng(2);
+  ContentBody body;
+  body.guid_wrapped = true;
+  body.guid_field = rng.bytes(100);  // opaque envelope, arbitrary size
+  body.ttl_seconds = 1.0;
+  body.abe_ciphertext = rng.bytes(8);
+  const Bytes wire = content_body(body);
+  Reader r(wire);
+  const ContentBody out = read_content(r);
+  EXPECT_TRUE(out.guid_wrapped);
+  EXPECT_EQ(out.guid_field, body.guid_field);
+}
+
+TEST(Messages, ClearGuidMustBeExactly16Bytes) {
+  ContentBody body;
+  body.guid_wrapped = false;
+  body.guid_field = Bytes(15);
+  body.ttl_seconds = 1.0;
+  const Bytes wire = content_body(body);
+  Reader r(wire);
+  EXPECT_THROW(read_content(r), std::invalid_argument);
+}
+
+TEST(Messages, CertificateRoundTripAndTamperDetection) {
+  const auto pp = pairing::Pairing::test_pairing();
+  TestRng rng(3);
+  const auto ca = pairing::schnorr_keygen(*pp, rng);
+  Certificate cert;
+  cert.pseudonym = "alice";
+  cert.role = Certificate::Role::kSubscriber;
+  cert.signature =
+      pairing::schnorr_sign(*pp, ca.secret, cert.signed_body(), rng);
+
+  const auto cert2 = Certificate::deserialize(*pp, cert.serialize(*pp));
+  EXPECT_TRUE(cert2.verify(*pp, ca.public_key));
+
+  Certificate forged = cert2;
+  forged.role = Certificate::Role::kPublisher;
+  EXPECT_FALSE(forged.verify(*pp, ca.public_key));
+  Certificate renamed = cert2;
+  renamed.pseudonym = "mallory";
+  EXPECT_FALSE(renamed.verify(*pp, ca.public_key));
+}
+
+TEST(Messages, CertificateRejectsBadRole) {
+  const auto pp = pairing::Pairing::test_pairing();
+  TestRng rng(4);
+  const auto ca = pairing::schnorr_keygen(*pp, rng);
+  Certificate cert;
+  cert.pseudonym = "x";
+  cert.signature = pairing::schnorr_sign(*pp, ca.secret, cert.signed_body(), rng);
+  Bytes wire = cert.serialize(*pp);
+  // Role byte is right after the 4-byte length + pseudonym.
+  wire[4 + 1] = 99;
+  EXPECT_THROW(Certificate::deserialize(*pp, wire), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3s::core

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/modular.hpp"
+#include "math/montgomery.hpp"
+#include "math/prime.hpp"
+
+namespace p3s::math {
+namespace {
+
+TEST(Montgomery, RejectsEvenOrTrivialModulus) {
+  EXPECT_THROW(Montgomery(BigInt{10}), std::invalid_argument);
+  EXPECT_THROW(Montgomery(BigInt{1}), std::invalid_argument);
+  EXPECT_THROW(Montgomery(BigInt{0}), std::invalid_argument);
+}
+
+TEST(Montgomery, ToFromMontRoundTrip) {
+  TestRng rng(61);
+  const BigInt n = random_prime(rng, 192);
+  const Montgomery mont(n);
+  for (int i = 0; i < 50; ++i) {
+    const BigInt a = BigInt::random_below(rng, n);
+    EXPECT_EQ(mont.from_mont(mont.to_mont(a)), a);
+  }
+}
+
+TEST(Montgomery, MulMatchesSchoolbookModMul) {
+  TestRng rng(62);
+  for (std::size_t bits : {128u, 192u, 256u, 512u}) {
+    BigInt n = random_prime(rng, bits);
+    const Montgomery mont(n);
+    for (int i = 0; i < 20; ++i) {
+      const BigInt a = BigInt::random_below(rng, n);
+      const BigInt b = BigInt::random_below(rng, n);
+      const BigInt got =
+          mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b)));
+      EXPECT_EQ(got, mod_mul(a, b, n)) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, WorksForOddCompositeModuli) {
+  TestRng rng(63);
+  const BigInt n = random_prime(rng, 96) * random_prime(rng, 96);
+  const Montgomery mont(n);
+  const BigInt a = BigInt::random_below(rng, n);
+  const BigInt b = BigInt::random_below(rng, n);
+  EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+            mod_mul(a, b, n));
+}
+
+TEST(Montgomery, PowMatchesModPowReference) {
+  TestRng rng(64);
+  const BigInt n = random_prime(rng, 256);
+  const Montgomery mont(n);
+  for (int i = 0; i < 10; ++i) {
+    const BigInt base = BigInt::random_below(rng, n);
+    const BigInt exp = BigInt::random_bits(rng, 200);
+    // Reference: square-and-multiply with division-based reduction.
+    BigInt ref{1};
+    for (std::size_t bit = exp.bit_length(); bit-- > 0;) {
+      ref = mod_mul(ref, ref, n);
+      if (exp.bit(bit)) ref = mod_mul(ref, base, n);
+    }
+    EXPECT_EQ(mont.pow(base, exp), ref);
+  }
+}
+
+TEST(Montgomery, PowEdgeCases) {
+  TestRng rng(65);
+  const BigInt n = random_prime(rng, 128);
+  const Montgomery mont(n);
+  EXPECT_EQ(mont.pow(BigInt{5}, BigInt{}), BigInt{1});
+  EXPECT_EQ(mont.pow(BigInt{5}, BigInt{1}), BigInt{5});
+  EXPECT_EQ(mont.pow(BigInt{}, BigInt{7}), BigInt{});
+  EXPECT_THROW(mont.pow(BigInt{2}, BigInt{-1}), std::invalid_argument);
+}
+
+TEST(Montgomery, FermatViaMontgomery) {
+  TestRng rng(66);
+  const BigInt p = random_prime(rng, 320);
+  const Montgomery mont(p);
+  for (int i = 0; i < 5; ++i) {
+    const BigInt a = BigInt{1} + BigInt::random_below(rng, p - BigInt{1});
+    EXPECT_EQ(mont.pow(a, p - BigInt{1}), BigInt{1});
+  }
+}
+
+TEST(Montgomery, ModPowFastPathAgreesWithItself) {
+  // mod_pow dispatches to Montgomery for odd moduli >= 128 bits; cross-check
+  // against the even-modulus (schoolbook) path via CRT-free consistency:
+  // a^e mod 2n recomputed mod n must match the Montgomery result.
+  TestRng rng(67);
+  const BigInt n = random_prime(rng, 160);
+  const BigInt a = BigInt::random_below(rng, n);
+  const BigInt e = BigInt::random_bits(rng, 100);
+  const BigInt via_even = mod(mod_pow(a, e, n * BigInt{2}), n);
+  EXPECT_EQ(mod_pow(a, e, n), via_even);
+}
+
+}  // namespace
+}  // namespace p3s::math

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/modular.hpp"
+#include "pairing/curve.hpp"
+#include "pairing/ecies.hpp"
+#include "pairing/fq2.hpp"
+#include "pairing/pairing.hpp"
+
+namespace p3s::pairing {
+namespace {
+
+using math::BigInt;
+using math::mod;
+
+class PairingTest : public ::testing::Test {
+ protected:
+  PairingPtr pp_ = Pairing::test_pairing();
+  TestRng rng_{0xfeed};
+};
+
+// --- Fq2 ---------------------------------------------------------------------
+
+TEST_F(PairingTest, Fq2FieldAxioms) {
+  const BigInt& q = pp_->q();
+  TestRng rng(1);
+  for (int i = 0; i < 20; ++i) {
+    Fq2 a{BigInt::random_below(rng, q), BigInt::random_below(rng, q)};
+    Fq2 b{BigInt::random_below(rng, q), BigInt::random_below(rng, q)};
+    Fq2 c{BigInt::random_below(rng, q), BigInt::random_below(rng, q)};
+    // Commutativity and associativity of multiplication.
+    EXPECT_EQ(fq2_mul(a, b, q), fq2_mul(b, a, q));
+    EXPECT_EQ(fq2_mul(fq2_mul(a, b, q), c, q), fq2_mul(a, fq2_mul(b, c, q), q));
+    // Distributivity.
+    EXPECT_EQ(fq2_mul(a, fq2_add(b, c, q), q),
+              fq2_add(fq2_mul(a, b, q), fq2_mul(a, c, q), q));
+    // Square matches mul.
+    EXPECT_EQ(fq2_sqr(a, q), fq2_mul(a, a, q));
+    // Additive inverse.
+    EXPECT_TRUE(fq2_is_zero(fq2_add(a, fq2_neg(a, q), q)));
+    // Multiplicative inverse.
+    if (!fq2_is_zero(a)) {
+      EXPECT_TRUE(fq2_is_one(fq2_mul(a, fq2_inv(a, q), q)));
+    }
+  }
+}
+
+TEST_F(PairingTest, Fq2IsquaredIsMinusOne) {
+  const BigInt& q = pp_->q();
+  const Fq2 i{BigInt{}, BigInt{1}};
+  const Fq2 i2 = fq2_mul(i, i, q);
+  EXPECT_EQ(i2.a, q - BigInt{1});
+  EXPECT_TRUE(i2.b.is_zero());
+}
+
+TEST_F(PairingTest, Fq2PowMatchesRepeatedMul) {
+  const BigInt& q = pp_->q();
+  const Fq2 x{BigInt{3}, BigInt{5}};
+  Fq2 acc = fq2_one();
+  for (int e = 0; e < 20; ++e) {
+    EXPECT_EQ(fq2_pow(x, BigInt{e}, q), acc) << e;
+    acc = fq2_mul(acc, x, q);
+  }
+}
+
+TEST_F(PairingTest, Fq2ConjIsFrobenius) {
+  // For q ≡ 3 mod 4, x^q == conj(x).
+  const BigInt& q = pp_->q();
+  TestRng rng(2);
+  const Fq2 x{BigInt::random_below(rng, q), BigInt::random_below(rng, q)};
+  EXPECT_EQ(fq2_pow(x, q, q), fq2_conj(x, q));
+}
+
+TEST_F(PairingTest, Fq2InvZeroThrows) {
+  EXPECT_THROW(fq2_inv(fq2_zero(), pp_->q()), std::domain_error);
+}
+
+// --- Curve -------------------------------------------------------------------
+
+TEST_F(PairingTest, GeneratorOnCurveWithOrderR) {
+  const auto& prm = pp_->params();
+  EXPECT_TRUE(on_curve(prm.g, prm.q));
+  EXPECT_FALSE(prm.g.infinity);
+  EXPECT_TRUE(point_mul(prm.g, prm.r, prm.q).infinity);
+  EXPECT_FALSE(point_mul(prm.g, prm.r - BigInt{1}, prm.q).infinity);
+}
+
+TEST_F(PairingTest, GroupLaws) {
+  const auto& prm = pp_->params();
+  const Point p = pp_->random_g1(rng_);
+  const Point q2 = pp_->random_g1(rng_);
+  const Point r2 = pp_->random_g1(rng_);
+  // Commutativity / associativity.
+  EXPECT_EQ(point_add(p, q2, prm.q), point_add(q2, p, prm.q));
+  EXPECT_EQ(point_add(point_add(p, q2, prm.q), r2, prm.q),
+            point_add(p, point_add(q2, r2, prm.q), prm.q));
+  // Identity and inverse.
+  EXPECT_EQ(point_add(p, Point::at_infinity(), prm.q), p);
+  EXPECT_TRUE(point_add(p, point_neg(p, prm.q), prm.q).infinity);
+  // Double == add self.
+  EXPECT_EQ(point_double(p, prm.q), point_add(p, p, prm.q));
+}
+
+TEST_F(PairingTest, ScalarMulMatchesRepeatedAdd) {
+  const auto& prm = pp_->params();
+  const Point p = pp_->random_g1(rng_);
+  Point acc = Point::at_infinity();
+  for (std::uint64_t k = 0; k < 16; ++k) {
+    EXPECT_EQ(point_mul(p, BigInt{k}, prm.q), acc) << k;
+    acc = point_add(acc, p, prm.q);
+  }
+}
+
+TEST_F(PairingTest, ScalarMulDistributes) {
+  const auto& prm = pp_->params();
+  const Point p = pp_->random_g1(rng_);
+  const BigInt a = pp_->random_scalar(rng_);
+  const BigInt b = pp_->random_scalar(rng_);
+  const Point lhs = point_mul(p, mod(a + b, prm.r), prm.q);
+  const Point rhs =
+      point_add(point_mul(p, a, prm.q), point_mul(p, b, prm.q), prm.q);
+  EXPECT_EQ(lhs, rhs);
+}
+
+TEST_F(PairingTest, ResultsStayOnCurve) {
+  const auto& prm = pp_->params();
+  TestRng rng(4);
+  for (int i = 0; i < 10; ++i) {
+    const Point p = pp_->random_g1(rng);
+    const Point s = point_mul(p, pp_->random_scalar(rng), prm.q);
+    EXPECT_TRUE(on_curve(s, prm.q));
+  }
+}
+
+// --- Pairing -----------------------------------------------------------------
+
+TEST_F(PairingTest, NonDegenerate) {
+  const Fq2 e = pp_->pair(pp_->generator(), pp_->generator());
+  EXPECT_FALSE(fq2_is_one(e));
+  EXPECT_FALSE(fq2_is_zero(e));
+}
+
+TEST_F(PairingTest, GtElementHasOrderR) {
+  const Fq2 e = pp_->gt_generator();
+  EXPECT_TRUE(fq2_is_one(fq2_pow(e, pp_->r(), pp_->q())));
+}
+
+TEST_F(PairingTest, Bilinearity) {
+  for (int trial = 0; trial < 3; ++trial) {
+    const BigInt a = pp_->random_nonzero_scalar(rng_);
+    const BigInt b = pp_->random_nonzero_scalar(rng_);
+    const Point ga = pp_->mul(pp_->generator(), a);
+    const Point gb = pp_->mul(pp_->generator(), b);
+    const Fq2 lhs = pp_->pair(ga, gb);
+    const Fq2 rhs = pp_->gt_pow(pp_->gt_generator(), mod(a * b, pp_->r()));
+    EXPECT_EQ(lhs, rhs);
+  }
+}
+
+TEST_F(PairingTest, BilinearInEachArgument) {
+  const Point p = pp_->random_g1(rng_);
+  const Point q2 = pp_->random_g1(rng_);
+  const BigInt k = pp_->random_nonzero_scalar(rng_);
+  EXPECT_EQ(pp_->pair(pp_->mul(p, k), q2), pp_->pair(p, pp_->mul(q2, k)));
+  EXPECT_EQ(pp_->pair(pp_->mul(p, k), q2), pp_->gt_pow(pp_->pair(p, q2), k));
+}
+
+TEST_F(PairingTest, PairingWithIdentityIsOne) {
+  EXPECT_TRUE(fq2_is_one(pp_->pair(Point::at_infinity(), pp_->generator())));
+  EXPECT_TRUE(fq2_is_one(pp_->pair(pp_->generator(), Point::at_infinity())));
+}
+
+TEST_F(PairingTest, PairingSymmetricUpToDistortion) {
+  // For the Type-A distortion pairing, e(P,Q) == e(Q,P).
+  const Point p = pp_->random_g1(rng_);
+  const Point q2 = pp_->random_g1(rng_);
+  EXPECT_EQ(pp_->pair(p, q2), pp_->pair(q2, p));
+}
+
+TEST_F(PairingTest, MultiplicativeHomomorphism) {
+  const Point p = pp_->random_g1(rng_);
+  const Point a = pp_->random_g1(rng_);
+  const Point b = pp_->random_g1(rng_);
+  EXPECT_EQ(pp_->pair(p, pp_->add(a, b)),
+            pp_->gt_mul(pp_->pair(p, a), pp_->pair(p, b)));
+}
+
+// --- Hash to group / serialization --------------------------------------------
+
+TEST_F(PairingTest, HashToG1Deterministic) {
+  const Point a = pp_->hash_to_g1(str_to_bytes("attribute:finance"));
+  const Point b = pp_->hash_to_g1(str_to_bytes("attribute:finance"));
+  const Point c = pp_->hash_to_g1(str_to_bytes("attribute:legal"));
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_TRUE(on_curve(a, pp_->q()));
+  // In the order-r subgroup:
+  EXPECT_TRUE(pp_->mul(a, pp_->r()).infinity);
+}
+
+TEST_F(PairingTest, G1SerializationRoundTrip) {
+  const Point p = pp_->random_g1(rng_);
+  const Bytes ser = pp_->serialize_g1(p);
+  EXPECT_EQ(ser.size(), pp_->g1_bytes());
+  EXPECT_EQ(pp_->deserialize_g1(ser), p);
+  // Infinity round-trips too.
+  EXPECT_TRUE(pp_->deserialize_g1(pp_->serialize_g1(Point::at_infinity())).infinity);
+}
+
+TEST_F(PairingTest, G1DeserializationValidatesCurve) {
+  Bytes ser = pp_->serialize_g1(pp_->generator());
+  ser[5] ^= 1;  // corrupt x
+  EXPECT_THROW(pp_->deserialize_g1(ser), std::invalid_argument);
+}
+
+TEST_F(PairingTest, GtSerializationRoundTrip) {
+  const Fq2 e = pp_->random_gt(rng_);
+  const Bytes ser = pp_->serialize_gt(e);
+  EXPECT_EQ(ser.size(), pp_->gt_bytes());
+  EXPECT_EQ(pp_->deserialize_gt(ser), e);
+}
+
+TEST_F(PairingTest, ParamsSerializationRoundTrip) {
+  const Bytes ser = pp_->params().serialize();
+  const Params p2 = Params::deserialize(ser);
+  EXPECT_EQ(p2.q, pp_->params().q);
+  EXPECT_EQ(p2.r, pp_->params().r);
+  EXPECT_EQ(p2.h, pp_->params().h);
+  EXPECT_EQ(p2.g, pp_->params().g);
+}
+
+TEST_F(PairingTest, ParamsValidation) {
+  Params bad = pp_->params();
+  bad.g.x += BigInt{1};
+  EXPECT_THROW(Pairing{bad}, std::invalid_argument);
+  Params bad2 = pp_->params();
+  bad2.h += BigInt{4};
+  EXPECT_THROW(Pairing{bad2}, std::invalid_argument);
+}
+
+TEST(PairingGen, FreshParamsSatisfyInvariants) {
+  TestRng rng(99);
+  const Params p = generate_params(rng, 40, 96);
+  EXPECT_EQ(p.r.bit_length(), 40u);
+  EXPECT_EQ(p.q.bit_length(), 96u);
+  EXPECT_EQ(p.q % BigInt{4}, BigInt{3});
+  EXPECT_EQ(p.q, p.h * p.r - BigInt{1});
+  const Pairing pairing(p);
+  // Bilinearity sanity on the fresh group.
+  TestRng r2(100);
+  const BigInt a = pairing.random_nonzero_scalar(r2);
+  EXPECT_EQ(pairing.pair(pairing.mul(p.g, a), p.g),
+            pairing.gt_pow(pairing.gt_generator(), a));
+}
+
+// --- ECIES ---------------------------------------------------------------------
+
+TEST_F(PairingTest, EciesRoundTrip) {
+  const EciesKeyPair kp = ecies_keygen(*pp_, rng_);
+  const Bytes msg = str_to_bytes("token request: predicate=(a=1 AND b=*)");
+  const Bytes ct = ecies_encrypt(*pp_, kp.public_key, msg, rng_);
+  const auto out = ecies_decrypt(*pp_, kp.secret, ct);
+  ASSERT_TRUE(out.has_value());
+  EXPECT_EQ(*out, msg);
+}
+
+TEST_F(PairingTest, EciesWrongKeyFails) {
+  const EciesKeyPair kp = ecies_keygen(*pp_, rng_);
+  const EciesKeyPair other = ecies_keygen(*pp_, rng_);
+  const Bytes ct = ecies_encrypt(*pp_, kp.public_key, str_to_bytes("m"), rng_);
+  EXPECT_FALSE(ecies_decrypt(*pp_, other.secret, ct).has_value());
+}
+
+TEST_F(PairingTest, EciesTamperDetected) {
+  const EciesKeyPair kp = ecies_keygen(*pp_, rng_);
+  Bytes ct = ecies_encrypt(*pp_, kp.public_key, str_to_bytes("m"), rng_);
+  ct[ct.size() / 2] ^= 1;
+  EXPECT_FALSE(ecies_decrypt(*pp_, kp.secret, ct).has_value());
+}
+
+TEST_F(PairingTest, EciesMalformedInputIsRejectedGracefully) {
+  const EciesKeyPair kp = ecies_keygen(*pp_, rng_);
+  EXPECT_FALSE(ecies_decrypt(*pp_, kp.secret, Bytes{1, 2, 3}).has_value());
+  EXPECT_FALSE(ecies_decrypt(*pp_, kp.secret, {}).has_value());
+}
+
+TEST_F(PairingTest, EciesCiphertextsAreRandomized) {
+  const EciesKeyPair kp = ecies_keygen(*pp_, rng_);
+  const Bytes a = ecies_encrypt(*pp_, kp.public_key, str_to_bytes("m"), rng_);
+  const Bytes b = ecies_encrypt(*pp_, kp.public_key, str_to_bytes("m"), rng_);
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace p3s::pairing

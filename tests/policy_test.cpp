@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "abe/policy.hpp"
+#include "abe/shamir.hpp"
+#include "common/rng.hpp"
+#include "math/modular.hpp"
+#include "math/prime.hpp"
+
+namespace p3s::abe {
+namespace {
+
+std::set<std::string> attrs(std::initializer_list<const char*> list) {
+  std::set<std::string> out;
+  for (const char* a : list) out.insert(a);
+  return out;
+}
+
+TEST(Policy, SingleAttribute) {
+  const PolicyNode p = parse_policy("analyst");
+  EXPECT_TRUE(p.is_leaf());
+  EXPECT_TRUE(p.satisfied_by(attrs({"analyst"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"trader"})));
+  EXPECT_EQ(p.leaf_count(), 1u);
+}
+
+TEST(Policy, AndSemantics) {
+  const PolicyNode p = parse_policy("a and b and c");
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "b", "c"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "b", "c", "extra"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"a", "b"})));
+  EXPECT_EQ(p.k(), 3u);
+  EXPECT_EQ(p.leaf_count(), 3u);
+}
+
+TEST(Policy, OrSemantics) {
+  const PolicyNode p = parse_policy("a or b or c");
+  EXPECT_TRUE(p.satisfied_by(attrs({"b"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"x"})));
+  EXPECT_EQ(p.k(), 1u);
+}
+
+TEST(Policy, PrecedenceAndBindsTighter) {
+  // "a or b and c" == "a or (b and c)"
+  const PolicyNode p = parse_policy("a or b and c");
+  EXPECT_TRUE(p.satisfied_by(attrs({"a"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"b", "c"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"b"})));
+}
+
+TEST(Policy, Parentheses) {
+  const PolicyNode p = parse_policy("(a or b) and c");
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "c"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"b", "c"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"a", "b"})));
+}
+
+TEST(Policy, ThresholdGate) {
+  const PolicyNode p = parse_policy("2 of (a, b, c)");
+  EXPECT_FALSE(p.satisfied_by(attrs({"a"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "c"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "b", "c"})));
+  EXPECT_EQ(p.k(), 2u);
+}
+
+TEST(Policy, NestedThreshold) {
+  const PolicyNode p = parse_policy("2 of (a and b, c, d or e)");
+  EXPECT_TRUE(p.satisfied_by(attrs({"a", "b", "c"})));
+  EXPECT_TRUE(p.satisfied_by(attrs({"c", "e"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"a", "c"})));  // "a" alone fails a∧b
+}
+
+TEST(Policy, RealisticCoalitionPolicy) {
+  const PolicyNode p =
+      parse_policy("intel_analyst and (nation:us or nation:uk) and tier-2");
+  EXPECT_TRUE(p.satisfied_by(attrs({"intel_analyst", "nation:uk", "tier-2"})));
+  EXPECT_FALSE(p.satisfied_by(attrs({"intel_analyst", "nation:fr", "tier-2"})));
+}
+
+TEST(Policy, AttributeSet) {
+  const PolicyNode p = parse_policy("a and (b or a) and 2 of (c, d, a)");
+  EXPECT_EQ(p.attribute_set(), attrs({"a", "b", "c", "d"}));
+}
+
+TEST(Policy, ToStringRoundTrips) {
+  for (const char* text :
+       {"a", "a and b", "a or b", "(a or b) and c", "2 of (a, b, c)",
+        "2 of (a and b, c or d, e)", "a and b and c or d"}) {
+    const PolicyNode p = parse_policy(text);
+    const PolicyNode p2 = parse_policy(p.to_string());
+    EXPECT_EQ(p, p2) << text << " -> " << p.to_string();
+  }
+}
+
+TEST(Policy, SerializationRoundTrips) {
+  for (const char* text :
+       {"a", "a and b", "2 of (a, b or x, c and y)", "org:us.mil-1"}) {
+    const PolicyNode p = parse_policy(text);
+    EXPECT_EQ(PolicyNode::deserialize(p.serialize()), p) << text;
+  }
+}
+
+TEST(Policy, ParseErrors) {
+  for (const char* text : {"", "and", "a and", "a or or b", "(a", "a)",
+                           "5 of (a, b)", "0 of (a, b)", "2 of ()", "a b"}) {
+    EXPECT_THROW(parse_policy(text), std::invalid_argument) << text;
+  }
+}
+
+TEST(Policy, NumericAttributeNameIsAllowed) {
+  // A bare number not followed by "of" is an attribute.
+  const PolicyNode p = parse_policy("42 and a");
+  EXPECT_TRUE(p.satisfied_by(attrs({"42", "a"})));
+}
+
+TEST(Policy, ConstructorsValidate) {
+  EXPECT_THROW(PolicyNode::leaf(""), std::invalid_argument);
+  EXPECT_THROW(PolicyNode::threshold(1, {}), std::invalid_argument);
+  std::vector<PolicyNode> kids;
+  kids.push_back(PolicyNode::leaf("a"));
+  EXPECT_THROW(PolicyNode::threshold(2, std::move(kids)), std::invalid_argument);
+}
+
+// --- Shamir ------------------------------------------------------------------
+
+TEST(Shamir, InterpolationRecoversSecret) {
+  TestRng rng(41);
+  const math::BigInt r = math::random_prime(rng, 64);
+  const math::BigInt secret = math::BigInt::random_below(rng, r);
+  const SharePolynomial poly(secret, 2, r, rng);  // degree 2: need 3 shares
+
+  const std::vector<std::uint64_t> subset = {1, 3, 5};
+  math::BigInt acc{};
+  for (std::uint64_t i : subset) {
+    const math::BigInt coeff = lagrange_at_zero(subset, i, r);
+    acc = math::mod_add(acc, math::mod_mul(coeff, poly.eval(i), r), r);
+  }
+  EXPECT_EQ(acc, secret);
+}
+
+TEST(Shamir, DifferentSubsetsAgree) {
+  TestRng rng(42);
+  const math::BigInt r = math::random_prime(rng, 64);
+  const math::BigInt secret = math::BigInt::random_below(rng, r);
+  const SharePolynomial poly(secret, 1, r, rng);
+  for (const std::vector<std::uint64_t>& subset :
+       {std::vector<std::uint64_t>{1, 2}, {2, 3}, {1, 4}}) {
+    math::BigInt acc{};
+    for (std::uint64_t i : subset) {
+      acc = math::mod_add(
+          acc, math::mod_mul(lagrange_at_zero(subset, i, r), poly.eval(i), r), r);
+    }
+    EXPECT_EQ(acc, secret);
+  }
+}
+
+TEST(Shamir, DegreeZeroIsConstant) {
+  TestRng rng(43);
+  const math::BigInt r{101};
+  const SharePolynomial poly(math::BigInt{7}, 0, r, rng);
+  EXPECT_EQ(poly.eval(1), math::BigInt{7});
+  EXPECT_EQ(poly.eval(99), math::BigInt{7});
+}
+
+TEST(Shamir, LagrangeRequiresMembership) {
+  EXPECT_THROW(lagrange_at_zero({1, 2}, 3, math::BigInt{101}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace p3s::abe

@@ -1,0 +1,57 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "math/prime.hpp"
+
+namespace p3s::math {
+namespace {
+
+TEST(Prime, SmallKnownPrimes) {
+  TestRng rng(31);
+  for (std::uint64_t p : {2u, 3u, 5u, 7u, 11u, 97u, 101u, 65537u}) {
+    EXPECT_TRUE(is_probable_prime(BigInt{p}, rng)) << p;
+  }
+}
+
+TEST(Prime, SmallKnownComposites) {
+  TestRng rng(32);
+  for (std::uint64_t n : {0u, 1u, 4u, 6u, 9u, 15u, 91u, 561u, 65535u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt{n}, rng)) << n;
+  }
+}
+
+TEST(Prime, CarmichaelNumbersRejected) {
+  TestRng rng(33);
+  // Carmichael numbers fool Fermat but not Miller-Rabin.
+  for (std::uint64_t n : {561u, 1105u, 1729u, 2465u, 2821u, 6601u, 8911u}) {
+    EXPECT_FALSE(is_probable_prime(BigInt{n}, rng)) << n;
+  }
+}
+
+TEST(Prime, LargeKnownPrime) {
+  TestRng rng(34);
+  // 2^127 - 1 is a Mersenne prime.
+  BigInt m127 = (BigInt{1} << 127) - BigInt{1};
+  EXPECT_TRUE(is_probable_prime(m127, rng));
+  // 2^128 + 1 is composite (Fermat F7 factor known).
+  EXPECT_FALSE(is_probable_prime((BigInt{1} << 128) + BigInt{1}, rng));
+}
+
+TEST(Prime, RandomPrimeHasExactWidthAndIsPrime) {
+  TestRng rng(35);
+  for (std::size_t bits : {32u, 64u, 128u}) {
+    BigInt p = random_prime(rng, bits);
+    EXPECT_EQ(p.bit_length(), bits);
+    EXPECT_TRUE(is_probable_prime(p, rng));
+  }
+}
+
+TEST(Prime, ProductOfPrimesIsComposite) {
+  TestRng rng(36);
+  BigInt p = random_prime(rng, 96);
+  BigInt q = random_prime(rng, 96);
+  EXPECT_FALSE(is_probable_prime(p * q, rng));
+}
+
+}  // namespace
+}  // namespace p3s::math

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "pbe/schema.hpp"
+
+namespace p3s::pbe {
+namespace {
+
+MetadataSchema finance_schema() {
+  return MetadataSchema({
+      {"sector", {"tech", "finance", "energy", "health"}},       // 2 bits
+      {"region", {"us", "eu", "apac"}},                          // 2 bits
+      {"event", {"merger", "earnings", "default", "ipo",
+                 "downgrade", "lawsuit", "split", "buyback"}},   // 3 bits
+  });
+}
+
+TEST(Schema, WidthIsSumOfAttributeBits) {
+  EXPECT_EQ(finance_schema().width(), 7u);
+  EXPECT_EQ(MetadataSchema::uniform(13, 8).width(), 39u);  // paper's ~40 bits
+}
+
+TEST(Schema, EncodeMetadataBits) {
+  const auto s = finance_schema();
+  const BitVector v = s.encode_metadata(
+      {{"sector", "finance"}, {"region", "us"}, {"event", "default"}});
+  ASSERT_EQ(v.size(), 7u);
+  // finance = index 1 -> bits {1,0}; us = 0 -> {0,0}; default = 2 -> {0,1,0}
+  EXPECT_EQ(v, (BitVector{1, 0, 0, 0, 0, 1, 0}));
+}
+
+TEST(Schema, EncodeInterestWildcardsSpanAttributes) {
+  const auto s = finance_schema();
+  const Pattern p = s.encode_interest({{"sector", "finance"}});
+  ASSERT_EQ(p.size(), 7u);
+  EXPECT_EQ(p[0], 1);
+  EXPECT_EQ(p[1], 0);
+  for (std::size_t i = 2; i < 7; ++i) EXPECT_EQ(p[i], kWildcard) << i;
+}
+
+TEST(Schema, EncodedInterestMatchesEncodedMetadataConsistently) {
+  const auto s = finance_schema();
+  TestRng rng(7);
+  const auto& specs = s.attributes();
+  for (int trial = 0; trial < 200; ++trial) {
+    Metadata md;
+    for (const auto& spec : specs) {
+      md[spec.name] = spec.values[rng.uniform(spec.values.size())];
+    }
+    Interest in;
+    for (const auto& spec : specs) {
+      if (rng.uniform(2) == 0) {
+        in[spec.name] = spec.values[rng.uniform(spec.values.size())];
+      }
+    }
+    if (in.empty()) in[specs[0].name] = md.at(specs[0].name);
+
+    EXPECT_EQ(hve_match_plain(s.encode_metadata(md), s.encode_interest(in)),
+              interest_matches(in, md));
+  }
+}
+
+TEST(Schema, MissingAttributeRejected) {
+  const auto s = finance_schema();
+  EXPECT_THROW(s.encode_metadata({{"sector", "tech"}}), std::invalid_argument);
+}
+
+TEST(Schema, UnknownAttributeOrValueRejected) {
+  const auto s = finance_schema();
+  EXPECT_THROW(s.encode_metadata({{"sector", "tech"},
+                                  {"region", "us"},
+                                  {"event", "merger"},
+                                  {"bogus", "x"}}),
+               std::invalid_argument);
+  EXPECT_THROW(s.encode_interest({{"sector", "crypto"}}), std::invalid_argument);
+  EXPECT_THROW(s.encode_interest({{"bogus", "x"}}), std::invalid_argument);
+}
+
+TEST(Schema, AllWildcardInterestRejected) {
+  EXPECT_THROW(finance_schema().encode_interest({}), std::invalid_argument);
+}
+
+TEST(Schema, ConstructionValidation) {
+  EXPECT_THROW(MetadataSchema(std::vector<AttributeSpec>{}),
+               std::invalid_argument);
+  EXPECT_THROW(MetadataSchema(std::vector<AttributeSpec>{{"a", {"only"}}}),
+               std::invalid_argument);
+  EXPECT_THROW(MetadataSchema(std::vector<AttributeSpec>{{"a", {"x", "y"}},
+                                                         {"a", {"x", "y"}}}),
+               std::invalid_argument);
+}
+
+TEST(Schema, SerializationRoundTrip) {
+  const auto s = finance_schema();
+  const auto s2 = MetadataSchema::deserialize(s.serialize());
+  EXPECT_EQ(s2, s);
+  EXPECT_EQ(s2.width(), s.width());
+}
+
+TEST(Schema, InterestMatchesSemantics) {
+  const Metadata md = {{"a", "1"}, {"b", "2"}};
+  EXPECT_TRUE(interest_matches({}, md));  // all-wildcard (plaintext helper only)
+  EXPECT_TRUE(interest_matches({{"a", "1"}}, md));
+  EXPECT_FALSE(interest_matches({{"a", "2"}}, md));
+  EXPECT_FALSE(interest_matches({{"c", "1"}}, md));
+}
+
+TEST(Schema, NonPowerOfTwoValueCountStillInjective) {
+  // "region" has 3 values in 2 bits; all encodings must be distinct.
+  const auto s = finance_schema();
+  BitVector a = s.encode_metadata({{"sector", "tech"}, {"region", "us"}, {"event", "ipo"}});
+  BitVector b = s.encode_metadata({{"sector", "tech"}, {"region", "eu"}, {"event", "ipo"}});
+  BitVector c = s.encode_metadata({{"sector", "tech"}, {"region", "apac"}, {"event", "ipo"}});
+  EXPECT_NE(a, b);
+  EXPECT_NE(b, c);
+  EXPECT_NE(a, c);
+}
+
+}  // namespace
+}  // namespace p3s::pbe

@@ -1,0 +1,102 @@
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.hpp"
+#include "gadget/gadget.hpp"
+#include "model/workload.hpp"
+
+namespace p3s::model {
+namespace {
+
+pbe::MetadataSchema schema() { return pbe::MetadataSchema::uniform(4, 8); }
+
+TEST(Workload, MetadataIsAlwaysComplete) {
+  TestRng rng(1);
+  const WorkloadGenerator gen(schema());
+  for (int i = 0; i < 50; ++i) {
+    const auto md = gen.random_metadata(rng);
+    EXPECT_EQ(md.size(), 4u);
+    EXPECT_NO_THROW(gen.schema().encode_metadata(md));
+  }
+}
+
+TEST(Workload, InterestsAreNonEmptyAndEncodable) {
+  TestRng rng(2);
+  const WorkloadGenerator gen(schema(), {0.8, 0.9});  // heavy wildcards
+  for (int i = 0; i < 100; ++i) {
+    const auto interest = gen.random_interest(rng);
+    EXPECT_FALSE(interest.empty());
+    EXPECT_NO_THROW(gen.schema().encode_interest(interest));
+  }
+}
+
+TEST(Workload, ZipfSkewsPopularity) {
+  TestRng rng(3);
+  WorkloadConfig config;
+  config.zipf_s = 1.2;
+  const WorkloadGenerator gen(schema(), config);
+  std::map<std::string, int> counts;
+  for (int i = 0; i < 2000; ++i) {
+    counts[gen.random_metadata(rng).at("attr0")]++;
+  }
+  // Rank-1 value should dominate rank-8 decisively under s=1.2.
+  EXPECT_GT(counts["v0"], counts["v7"] * 3);
+}
+
+TEST(Workload, UniformWhenSkewZero) {
+  TestRng rng(4);
+  WorkloadConfig config;
+  config.zipf_s = 0.0;
+  const WorkloadGenerator gen(schema(), config);
+  std::map<std::string, int> counts;
+  const int n = 8000;
+  for (int i = 0; i < n; ++i) {
+    counts[gen.random_metadata(rng).at("attr0")]++;
+  }
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, n / 8, n / 16) << value;
+  }
+}
+
+TEST(Workload, MatchRateRisesWithWildcardProbability) {
+  TestRng rng(5);
+  WorkloadConfig narrow;
+  narrow.wildcard_prob = 0.1;  // very specific interests
+  WorkloadConfig broad;
+  broad.wildcard_prob = 0.9;  // nearly-everything interests
+  const double f_narrow =
+      WorkloadGenerator(schema(), narrow).estimate_match_rate(rng, 50, 50);
+  const double f_broad =
+      WorkloadGenerator(schema(), broad).estimate_match_rate(rng, 50, 50);
+  EXPECT_LT(f_narrow, f_broad);
+  EXPECT_GT(f_broad, 0.1);
+}
+
+TEST(Workload, MatchRateInUnitInterval) {
+  TestRng rng(6);
+  const double f = WorkloadGenerator(schema()).estimate_match_rate(rng, 30, 30);
+  EXPECT_GE(f, 0.0);
+  EXPECT_LE(f, 1.0);
+}
+
+// --- Gadget DOT export --------------------------------------------------------------
+
+TEST(GadgetDot, RendersAllNodesAndConventions) {
+  const gadget::Gadget g = gadget::make_pbe_gadget();
+  const std::string dot = g.to_dot("pbe");
+  EXPECT_NE(dot.find("digraph pbe"), std::string::npos);
+  // Sensitive elements drawn with a heavy border (paper's dark boxes).
+  EXPECT_NE(dot.find("penwidth=3"), std::string::npos);
+  // Gates as boxes.
+  EXPECT_NE(dot.find("shape=box"), std::string::npos);
+  // Every named element appears.
+  for (const char* name : {"m", "x", "y", "t_y", "ct_pbe", "pk_pbe"}) {
+    EXPECT_NE(dot.find("label=\"" + std::string(name) + "\""), std::string::npos)
+        << name;
+  }
+  EXPECT_NE(dot.find("->"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace p3s::model

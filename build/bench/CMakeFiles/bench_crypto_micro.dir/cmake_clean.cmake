@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_crypto_micro.dir/bench_crypto_micro.cpp.o"
+  "CMakeFiles/bench_crypto_micro.dir/bench_crypto_micro.cpp.o.d"
+  "bench_crypto_micro"
+  "bench_crypto_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_crypto_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2e_prototype.dir/bench_e2e_prototype.cpp.o"
+  "CMakeFiles/bench_e2e_prototype.dir/bench_e2e_prototype.cpp.o.d"
+  "bench_e2e_prototype"
+  "bench_e2e_prototype.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2e_prototype.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o"
+  "CMakeFiles/bench_privacy_analysis.dir/bench_privacy_analysis.cpp.o.d"
+  "bench_privacy_analysis"
+  "bench_privacy_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_privacy_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sim_validation.dir/bench_sim_validation.cpp.o"
+  "CMakeFiles/bench_sim_validation.dir/bench_sim_validation.cpp.o.d"
+  "bench_sim_validation"
+  "bench_sim_validation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sim_validation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/coalition_intel.dir/coalition_intel.cpp.o"
+  "CMakeFiles/coalition_intel.dir/coalition_intel.cpp.o.d"
+  "coalition_intel"
+  "coalition_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/coalition_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for coalition_intel.
+# This may be replaced when dependencies are built.

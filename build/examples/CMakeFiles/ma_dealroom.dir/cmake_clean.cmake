@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ma_dealroom.dir/ma_dealroom.cpp.o"
+  "CMakeFiles/ma_dealroom.dir/ma_dealroom.cpp.o.d"
+  "ma_dealroom"
+  "ma_dealroom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ma_dealroom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

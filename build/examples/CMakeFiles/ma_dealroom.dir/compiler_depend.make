@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for ma_dealroom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for ma_dealroom.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_repl.dir/p3s_repl.cpp.o"
+  "CMakeFiles/p3s_repl.dir/p3s_repl.cpp.o.d"
+  "p3s_repl"
+  "p3s_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/private_chat.dir/private_chat.cpp.o"
+  "CMakeFiles/private_chat.dir/private_chat.cpp.o.d"
+  "private_chat"
+  "private_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/private_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/resilience.cpp" "examples/CMakeFiles/resilience.dir/resilience.cpp.o" "gcc" "examples/CMakeFiles/resilience.dir/resilience.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/p3s/CMakeFiles/p3s_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/abe/CMakeFiles/p3s_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbe/CMakeFiles/p3s_pbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p3s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/p3s_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/p3s_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p3s_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,18 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("common")
+subdirs("math")
+subdirs("pairing")
+subdirs("crypto")
+subdirs("abe")
+subdirs("pbe")
+subdirs("sim")
+subdirs("net")
+subdirs("broker")
+subdirs("p3s")
+subdirs("gadget")
+subdirs("model")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_abe.dir/cpabe.cpp.o"
+  "CMakeFiles/p3s_abe.dir/cpabe.cpp.o.d"
+  "CMakeFiles/p3s_abe.dir/policy.cpp.o"
+  "CMakeFiles/p3s_abe.dir/policy.cpp.o.d"
+  "CMakeFiles/p3s_abe.dir/shamir.cpp.o"
+  "CMakeFiles/p3s_abe.dir/shamir.cpp.o.d"
+  "libp3s_abe.a"
+  "libp3s_abe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

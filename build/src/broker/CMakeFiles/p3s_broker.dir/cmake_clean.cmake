@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_broker.dir/baseline.cpp.o"
+  "CMakeFiles/p3s_broker.dir/baseline.cpp.o.d"
+  "libp3s_broker.a"
+  "libp3s_broker.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_broker.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

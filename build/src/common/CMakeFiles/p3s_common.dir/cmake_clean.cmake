@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_common.dir/bytes.cpp.o"
+  "CMakeFiles/p3s_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/p3s_common.dir/guid.cpp.o"
+  "CMakeFiles/p3s_common.dir/guid.cpp.o.d"
+  "CMakeFiles/p3s_common.dir/log.cpp.o"
+  "CMakeFiles/p3s_common.dir/log.cpp.o.d"
+  "CMakeFiles/p3s_common.dir/rng.cpp.o"
+  "CMakeFiles/p3s_common.dir/rng.cpp.o.d"
+  "CMakeFiles/p3s_common.dir/serial.cpp.o"
+  "CMakeFiles/p3s_common.dir/serial.cpp.o.d"
+  "libp3s_common.a"
+  "libp3s_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_crypto.dir/aead.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/aead.cpp.o.d"
+  "CMakeFiles/p3s_crypto.dir/chacha20.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/chacha20.cpp.o.d"
+  "CMakeFiles/p3s_crypto.dir/drbg.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/drbg.cpp.o.d"
+  "CMakeFiles/p3s_crypto.dir/hmac.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/hmac.cpp.o.d"
+  "CMakeFiles/p3s_crypto.dir/poly1305.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/poly1305.cpp.o.d"
+  "CMakeFiles/p3s_crypto.dir/sha256.cpp.o"
+  "CMakeFiles/p3s_crypto.dir/sha256.cpp.o.d"
+  "libp3s_crypto.a"
+  "libp3s_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_gadget.dir/gadget.cpp.o"
+  "CMakeFiles/p3s_gadget.dir/gadget.cpp.o.d"
+  "libp3s_gadget.a"
+  "libp3s_gadget.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/math/bigint.cpp" "src/math/CMakeFiles/p3s_math.dir/bigint.cpp.o" "gcc" "src/math/CMakeFiles/p3s_math.dir/bigint.cpp.o.d"
+  "/root/repo/src/math/modular.cpp" "src/math/CMakeFiles/p3s_math.dir/modular.cpp.o" "gcc" "src/math/CMakeFiles/p3s_math.dir/modular.cpp.o.d"
+  "/root/repo/src/math/montgomery.cpp" "src/math/CMakeFiles/p3s_math.dir/montgomery.cpp.o" "gcc" "src/math/CMakeFiles/p3s_math.dir/montgomery.cpp.o.d"
+  "/root/repo/src/math/prime.cpp" "src/math/CMakeFiles/p3s_math.dir/prime.cpp.o" "gcc" "src/math/CMakeFiles/p3s_math.dir/prime.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

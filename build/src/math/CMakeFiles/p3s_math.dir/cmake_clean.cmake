@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_math.dir/bigint.cpp.o"
+  "CMakeFiles/p3s_math.dir/bigint.cpp.o.d"
+  "CMakeFiles/p3s_math.dir/modular.cpp.o"
+  "CMakeFiles/p3s_math.dir/modular.cpp.o.d"
+  "CMakeFiles/p3s_math.dir/montgomery.cpp.o"
+  "CMakeFiles/p3s_math.dir/montgomery.cpp.o.d"
+  "CMakeFiles/p3s_math.dir/prime.cpp.o"
+  "CMakeFiles/p3s_math.dir/prime.cpp.o.d"
+  "libp3s_math.a"
+  "libp3s_math.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

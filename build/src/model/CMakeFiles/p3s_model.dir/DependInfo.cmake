@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/analytic.cpp" "src/model/CMakeFiles/p3s_model.dir/analytic.cpp.o" "gcc" "src/model/CMakeFiles/p3s_model.dir/analytic.cpp.o.d"
+  "/root/repo/src/model/flowsim.cpp" "src/model/CMakeFiles/p3s_model.dir/flowsim.cpp.o" "gcc" "src/model/CMakeFiles/p3s_model.dir/flowsim.cpp.o.d"
+  "/root/repo/src/model/workload.cpp" "src/model/CMakeFiles/p3s_model.dir/workload.cpp.o" "gcc" "src/model/CMakeFiles/p3s_model.dir/workload.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/p3s_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbe/CMakeFiles/p3s_pbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p3s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/p3s_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/p3s_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p3s_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_model.dir/analytic.cpp.o"
+  "CMakeFiles/p3s_model.dir/analytic.cpp.o.d"
+  "CMakeFiles/p3s_model.dir/flowsim.cpp.o"
+  "CMakeFiles/p3s_model.dir/flowsim.cpp.o.d"
+  "CMakeFiles/p3s_model.dir/workload.cpp.o"
+  "CMakeFiles/p3s_model.dir/workload.cpp.o.d"
+  "libp3s_model.a"
+  "libp3s_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libp3s_model.a"
+)

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_net.dir/async.cpp.o"
+  "CMakeFiles/p3s_net.dir/async.cpp.o.d"
+  "CMakeFiles/p3s_net.dir/network.cpp.o"
+  "CMakeFiles/p3s_net.dir/network.cpp.o.d"
+  "CMakeFiles/p3s_net.dir/secure.cpp.o"
+  "CMakeFiles/p3s_net.dir/secure.cpp.o.d"
+  "libp3s_net.a"
+  "libp3s_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,36 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/p3s/anonymizer.cpp" "src/p3s/CMakeFiles/p3s_core.dir/anonymizer.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/anonymizer.cpp.o.d"
+  "/root/repo/src/p3s/ara.cpp" "src/p3s/CMakeFiles/p3s_core.dir/ara.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/ara.cpp.o.d"
+  "/root/repo/src/p3s/credentials.cpp" "src/p3s/CMakeFiles/p3s_core.dir/credentials.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/credentials.cpp.o.d"
+  "/root/repo/src/p3s/dissemination.cpp" "src/p3s/CMakeFiles/p3s_core.dir/dissemination.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/dissemination.cpp.o.d"
+  "/root/repo/src/p3s/messages.cpp" "src/p3s/CMakeFiles/p3s_core.dir/messages.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/messages.cpp.o.d"
+  "/root/repo/src/p3s/publisher.cpp" "src/p3s/CMakeFiles/p3s_core.dir/publisher.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/publisher.cpp.o.d"
+  "/root/repo/src/p3s/registration.cpp" "src/p3s/CMakeFiles/p3s_core.dir/registration.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/registration.cpp.o.d"
+  "/root/repo/src/p3s/repository.cpp" "src/p3s/CMakeFiles/p3s_core.dir/repository.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/repository.cpp.o.d"
+  "/root/repo/src/p3s/subscriber.cpp" "src/p3s/CMakeFiles/p3s_core.dir/subscriber.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/subscriber.cpp.o.d"
+  "/root/repo/src/p3s/system.cpp" "src/p3s/CMakeFiles/p3s_core.dir/system.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/system.cpp.o.d"
+  "/root/repo/src/p3s/token_server.cpp" "src/p3s/CMakeFiles/p3s_core.dir/token_server.cpp.o" "gcc" "src/p3s/CMakeFiles/p3s_core.dir/token_server.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abe/CMakeFiles/p3s_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pbe/CMakeFiles/p3s_pbe.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/p3s_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/p3s_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/p3s_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p3s_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

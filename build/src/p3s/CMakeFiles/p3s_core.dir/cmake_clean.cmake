@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_core.dir/anonymizer.cpp.o"
+  "CMakeFiles/p3s_core.dir/anonymizer.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/ara.cpp.o"
+  "CMakeFiles/p3s_core.dir/ara.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/credentials.cpp.o"
+  "CMakeFiles/p3s_core.dir/credentials.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/dissemination.cpp.o"
+  "CMakeFiles/p3s_core.dir/dissemination.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/messages.cpp.o"
+  "CMakeFiles/p3s_core.dir/messages.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/publisher.cpp.o"
+  "CMakeFiles/p3s_core.dir/publisher.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/registration.cpp.o"
+  "CMakeFiles/p3s_core.dir/registration.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/repository.cpp.o"
+  "CMakeFiles/p3s_core.dir/repository.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/subscriber.cpp.o"
+  "CMakeFiles/p3s_core.dir/subscriber.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/system.cpp.o"
+  "CMakeFiles/p3s_core.dir/system.cpp.o.d"
+  "CMakeFiles/p3s_core.dir/token_server.cpp.o"
+  "CMakeFiles/p3s_core.dir/token_server.cpp.o.d"
+  "libp3s_core.a"
+  "libp3s_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pairing/curve.cpp" "src/pairing/CMakeFiles/p3s_pairing.dir/curve.cpp.o" "gcc" "src/pairing/CMakeFiles/p3s_pairing.dir/curve.cpp.o.d"
+  "/root/repo/src/pairing/ecies.cpp" "src/pairing/CMakeFiles/p3s_pairing.dir/ecies.cpp.o" "gcc" "src/pairing/CMakeFiles/p3s_pairing.dir/ecies.cpp.o.d"
+  "/root/repo/src/pairing/fq2.cpp" "src/pairing/CMakeFiles/p3s_pairing.dir/fq2.cpp.o" "gcc" "src/pairing/CMakeFiles/p3s_pairing.dir/fq2.cpp.o.d"
+  "/root/repo/src/pairing/pairing.cpp" "src/pairing/CMakeFiles/p3s_pairing.dir/pairing.cpp.o" "gcc" "src/pairing/CMakeFiles/p3s_pairing.dir/pairing.cpp.o.d"
+  "/root/repo/src/pairing/schnorr.cpp" "src/pairing/CMakeFiles/p3s_pairing.dir/schnorr.cpp.o" "gcc" "src/pairing/CMakeFiles/p3s_pairing.dir/schnorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/math/CMakeFiles/p3s_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p3s_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_pairing.dir/curve.cpp.o"
+  "CMakeFiles/p3s_pairing.dir/curve.cpp.o.d"
+  "CMakeFiles/p3s_pairing.dir/ecies.cpp.o"
+  "CMakeFiles/p3s_pairing.dir/ecies.cpp.o.d"
+  "CMakeFiles/p3s_pairing.dir/fq2.cpp.o"
+  "CMakeFiles/p3s_pairing.dir/fq2.cpp.o.d"
+  "CMakeFiles/p3s_pairing.dir/pairing.cpp.o"
+  "CMakeFiles/p3s_pairing.dir/pairing.cpp.o.d"
+  "CMakeFiles/p3s_pairing.dir/schnorr.cpp.o"
+  "CMakeFiles/p3s_pairing.dir/schnorr.cpp.o.d"
+  "libp3s_pairing.a"
+  "libp3s_pairing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

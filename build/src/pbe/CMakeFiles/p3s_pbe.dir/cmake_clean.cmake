@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_pbe.dir/epoch.cpp.o"
+  "CMakeFiles/p3s_pbe.dir/epoch.cpp.o.d"
+  "CMakeFiles/p3s_pbe.dir/hve.cpp.o"
+  "CMakeFiles/p3s_pbe.dir/hve.cpp.o.d"
+  "CMakeFiles/p3s_pbe.dir/schema.cpp.o"
+  "CMakeFiles/p3s_pbe.dir/schema.cpp.o.d"
+  "libp3s_pbe.a"
+  "libp3s_pbe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_pbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

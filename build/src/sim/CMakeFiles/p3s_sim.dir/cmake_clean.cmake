@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/p3s_sim.dir/engine.cpp.o"
+  "CMakeFiles/p3s_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/p3s_sim.dir/simnet.cpp.o"
+  "CMakeFiles/p3s_sim.dir/simnet.cpp.o.d"
+  "libp3s_sim.a"
+  "libp3s_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/p3s_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/cpabe_test.cpp" "tests/CMakeFiles/test_abe.dir/cpabe_test.cpp.o" "gcc" "tests/CMakeFiles/test_abe.dir/cpabe_test.cpp.o.d"
+  "/root/repo/tests/policy_test.cpp" "tests/CMakeFiles/test_abe.dir/policy_test.cpp.o" "gcc" "tests/CMakeFiles/test_abe.dir/policy_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/abe/CMakeFiles/p3s_abe.dir/DependInfo.cmake"
+  "/root/repo/build/src/pairing/CMakeFiles/p3s_pairing.dir/DependInfo.cmake"
+  "/root/repo/build/src/math/CMakeFiles/p3s_math.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/p3s_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/p3s_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abe.dir/cpabe_test.cpp.o"
+  "CMakeFiles/test_abe.dir/cpabe_test.cpp.o.d"
+  "CMakeFiles/test_abe.dir/policy_test.cpp.o"
+  "CMakeFiles/test_abe.dir/policy_test.cpp.o.d"
+  "test_abe"
+  "test_abe.pdb"
+  "test_abe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

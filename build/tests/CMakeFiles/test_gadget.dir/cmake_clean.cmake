@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gadget.dir/gadget_test.cpp.o"
+  "CMakeFiles/test_gadget.dir/gadget_test.cpp.o.d"
+  "test_gadget"
+  "test_gadget.pdb"
+  "test_gadget[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gadget.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

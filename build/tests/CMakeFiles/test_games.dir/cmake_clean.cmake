@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_games.dir/games_test.cpp.o"
+  "CMakeFiles/test_games.dir/games_test.cpp.o.d"
+  "test_games"
+  "test_games.pdb"
+  "test_games[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_games.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_math.dir/bigint_test.cpp.o"
+  "CMakeFiles/test_math.dir/bigint_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/modular_test.cpp.o"
+  "CMakeFiles/test_math.dir/modular_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/montgomery_test.cpp.o"
+  "CMakeFiles/test_math.dir/montgomery_test.cpp.o.d"
+  "CMakeFiles/test_math.dir/prime_test.cpp.o"
+  "CMakeFiles/test_math.dir/prime_test.cpp.o.d"
+  "test_math"
+  "test_math.pdb"
+  "test_math[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_math.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_p3s.dir/p3s_test.cpp.o"
+  "CMakeFiles/test_p3s.dir/p3s_test.cpp.o.d"
+  "CMakeFiles/test_p3s.dir/privacy_test.cpp.o"
+  "CMakeFiles/test_p3s.dir/privacy_test.cpp.o.d"
+  "test_p3s"
+  "test_p3s.pdb"
+  "test_p3s[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_p3s.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pairing.dir/pairing_test.cpp.o"
+  "CMakeFiles/test_pairing.dir/pairing_test.cpp.o.d"
+  "test_pairing"
+  "test_pairing.pdb"
+  "test_pairing[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pairing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

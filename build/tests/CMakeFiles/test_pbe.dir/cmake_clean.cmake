@@ -1,0 +1,14 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pbe.dir/hve_test.cpp.o"
+  "CMakeFiles/test_pbe.dir/hve_test.cpp.o.d"
+  "CMakeFiles/test_pbe.dir/schema_test.cpp.o"
+  "CMakeFiles/test_pbe.dir/schema_test.cpp.o.d"
+  "test_pbe"
+  "test_pbe.pdb"
+  "test_pbe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pbe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for test_pbe.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_registration.dir/registration_test.cpp.o"
+  "CMakeFiles/test_registration.dir/registration_test.cpp.o.d"
+  "test_registration"
+  "test_registration.pdb"
+  "test_registration[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_registration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

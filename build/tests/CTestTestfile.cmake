@@ -1,0 +1,25 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_common[1]_include.cmake")
+include("/root/repo/build/tests/test_math[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_pairing[1]_include.cmake")
+include("/root/repo/build/tests/test_abe[1]_include.cmake")
+include("/root/repo/build/tests/test_pbe[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_broker[1]_include.cmake")
+include("/root/repo/build/tests/test_p3s[1]_include.cmake")
+include("/root/repo/build/tests/test_gadget[1]_include.cmake")
+include("/root/repo/build/tests/test_model[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_games[1]_include.cmake")
+include("/root/repo/build/tests/test_property[1]_include.cmake")
+include("/root/repo/build/tests/test_registration[1]_include.cmake")
+include("/root/repo/build/tests/test_async[1]_include.cmake")
+include("/root/repo/build/tests/test_workload[1]_include.cmake")
+include("/root/repo/build/tests/test_messages[1]_include.cmake")
+include("/root/repo/build/tests/test_robustness[1]_include.cmake")

@@ -134,5 +134,6 @@ int main() {
     std::printf("  -> closing the eavesdropper GUID leak costs two ECIES ops per\n"
                 "     publication — negligible next to enc_P/enc_A.\n");
   }
+  p3s::benchutil::emit_metrics("ablation");
   return 0;
 }

@@ -13,6 +13,8 @@
 #include "pairing/schnorr.hpp"
 #include "pbe/hve.hpp"
 
+#include "bench_util.hpp"
+
 namespace {
 
 using namespace p3s;  // NOLINT
@@ -190,4 +192,17 @@ BENCHMARK(BM_Cpabe_KeyGen);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN() with the standard metrics epilogue. The crypto
+// primitives themselves carry no instrumentation (the obs layer instruments
+// the middleware above them), so the registry — enabled or disabled — adds
+// nothing to the hot loops measured here; the epilogue only reports
+// whatever middleware metrics the process touched (none, for this binary,
+// beyond the registered schema).
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  p3s::benchutil::emit_metrics("crypto_micro");
+  return 0;
+}

@@ -98,5 +98,6 @@ int main() {
   std::printf(
       "\nNote: in-process overhead is crypto-dominated (no real network);\n"
       "the §6.2 models add network latency/bandwidth on top of these costs.\n");
+  p3s::benchutil::emit_metrics("e2e_prototype");
   return 0;
 }

@@ -73,5 +73,6 @@ int main() {
   std::printf("  [%s] 10->100 Mbps helps both equally (base x%.1f, p3s x%.1f)\n",
               std::abs(gain_base - gain_p3s) < 0.5 ? "ok" : "FAIL", gain_base,
               gain_p3s);
+  p3s::benchutil::emit_metrics("fig10_throughput");
   return 0;
 }

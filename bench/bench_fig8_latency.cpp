@@ -69,5 +69,6 @@ int main() {
   if (crossover > 0) {
     std::printf("  [ok] 10x crossover near %s\n", human_bytes(crossover).c_str());
   }
+  p3s::benchutil::emit_metrics("fig8_latency");
   return 0;
 }

@@ -64,5 +64,6 @@ int main() {
               rel_small < 0.1 ? "ok" : "FAIL", rel_small);
   std::printf("  [%s] large payloads match the baseline almost exactly (rel=%.3f ~ 1)\n",
               rel_large > 0.9 && rel_large < 1.1 ? "ok" : "FAIL", rel_large);
+  p3s::benchutil::emit_metrics("fig9_throughput");
   return 0;
 }

@@ -5,6 +5,8 @@
 
 #include "gadget/gadget.hpp"
 
+#include "bench_util.hpp"
+
 using namespace p3s::gadget;  // NOLINT
 
 namespace {
@@ -94,5 +96,6 @@ int main() {
                       !cg.derivable(unauthorized.nodes(), "m_A")
                   ? "ok"
                   : "FAIL");
+  p3s::benchutil::emit_metrics("privacy_analysis");
   return 0;
 }

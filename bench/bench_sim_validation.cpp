@@ -50,5 +50,6 @@ int main() {
               worst_lat_err * 100, worst_thr_err * 100);
   std::printf("[%s] models within 35%% of packet-level simulation across the grid\n",
               worst_lat_err < 0.35 && worst_thr_err < 0.35 ? "ok" : "FAIL");
+  p3s::benchutil::emit_metrics("sim_validation");
   return 0;
 }

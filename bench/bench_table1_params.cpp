@@ -145,5 +145,6 @@ int main() {
       "Note: absolute costs differ from the paper's (different library,\n"
       "hardware, and era); the analytic models take these as inputs, so the\n"
       "figure reproductions feed whichever calibration is requested.\n");
+  p3s::benchutil::emit_metrics("table1_params");
   return 0;
 }

@@ -3,10 +3,35 @@
 
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <string>
 
+#include "obs/export.hpp"
+
 namespace p3s::benchutil {
+
+/// Standard bench epilogue: print the metrics snapshot as aligned text and
+/// write the JSON form to BENCH_<name>.json (in $P3S_BENCH_JSON_DIR when
+/// set, else the working directory) for trajectory tooling. Set
+/// P3S_BENCH_JSON=0 to skip the file. See OBSERVABILITY.md for the schema.
+inline void emit_metrics(const std::string& name) {
+  obs::Registry& reg = obs::Registry::global();
+  std::printf("\n=== metrics snapshot (OBSERVABILITY.md) ===\n%s",
+              obs::render_text(reg).c_str());
+  const char* flag = std::getenv("P3S_BENCH_JSON");
+  if (flag != nullptr && std::string(flag) == "0") return;
+  const char* dir = std::getenv("P3S_BENCH_JSON_DIR");
+  const std::string path =
+      (dir != nullptr ? std::string(dir) + "/" : std::string()) + "BENCH_" +
+      name + ".json";
+  try {
+    obs::write_json_file(reg, path);
+    std::printf("[metrics json -> %s]\n", path.c_str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "metrics json not written: %s\n", e.what());
+  }
+}
 
 /// Wall-clock seconds for `iters` runs of `fn`, averaged.
 inline double time_op(int iters, const std::function<void()>& fn) {

@@ -41,5 +41,6 @@ int main() {
       "   (wildcard-heavy) interests push f up and P3S toward parity; narrow\n"
       "   interests recreate the small-f regime where the baseline's\n"
       "   selective dissemination wins.\n");
+  p3s::benchutil::emit_metrics("workload");
   return 0;
 }

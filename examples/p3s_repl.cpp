@@ -6,7 +6,7 @@
 //     pub <name>                           register+connect a publisher
 //     interest <sub> <k>=<v>[,<k>=<v>...]  subscribe
 //     publish <pub> <k>=<v>,... | <policy> | <payload text>
-//     stats                                counters and curious logs
+//     stats [json]                         curious logs + metrics snapshot
 //     gc                                   run the RS garbage collector
 //     help / quit
 #include <cstdio>
@@ -18,6 +18,7 @@
 #include "abe/policy.hpp"
 #include "crypto/drbg.hpp"
 #include "net/network.hpp"
+#include "obs/export.hpp"
 #include "p3s/system.hpp"
 
 using namespace p3s;  // NOLINT
@@ -119,6 +120,13 @@ struct Console {
             pubs.at(name)->publish(md, str_to_bytes(payload), policy);
         std::printf("ok: published %s\n", guid.to_hex().substr(0, 8).c_str());
       } else if (cmd == "stats") {
+        std::string mode;
+        ss >> mode;
+        if (mode == "json") {
+          std::printf("%s\n",
+                      obs::render_json(obs::Registry::global()).c_str());
+          return;
+        }
         for (const auto& [name, s] : subs) {
           std::printf("  %s: tokens=%zu broadcasts=%zu matches=%zu "
                       "delivered=%zu blocked=%zu\n",
@@ -131,6 +139,10 @@ struct Console {
                     system->rs().stored_items(),
                     system->token_server().seen_predicates().size(),
                     system->ds().observations().size());
+        std::printf("metrics ('stats json' for the JSON form):\n%s",
+                    obs::render_text(obs::Registry::global(),
+                                     /*max_spans=*/5)
+                        .c_str());
       } else if (cmd == "gc") {
         std::printf("ok: collected %zu item(s)\n", system->rs().garbage_collect());
       } else if (cmd == "help") {
@@ -138,7 +150,7 @@ struct Console {
             "  sub <name> <attr,...>\n  pub <name>\n"
             "  interest <sub> k=v[,k=v]\n"
             "  publish <pub> k=v,... | <policy> | <payload>\n"
-            "  stats | gc | quit\n");
+            "  stats [json] | gc | quit\n");
       } else if (cmd == "quit" || cmd == "exit") {
         std::exit(0);
       } else {

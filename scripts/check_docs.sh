@@ -1,0 +1,45 @@
+#!/bin/sh
+# Docs lint: the closed metric vocabulary in src/obs/ and the catalogue in
+# OBSERVABILITY.md must list exactly the same metric names, in both
+# directions. Run from anywhere: `sh scripts/check_docs.sh [repo-root]`.
+# Registered with ctest as `check_docs`.
+set -eu
+
+root="${1:-$(dirname "$0")/..}"
+
+if [ ! -d "$root/src/obs" ] || [ ! -f "$root/OBSERVABILITY.md" ]; then
+  echo "check_docs: cannot find src/obs/ and OBSERVABILITY.md under '$root'" >&2
+  exit 2
+fi
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Names declared in code: every quoted "p3s.x.y" literal in src/obs/
+# (catalog.hpp is the single declaration point by convention).
+grep -rhoE '"p3s\.[a-z0-9_.]+"' "$root/src/obs" \
+  | tr -d '"' | sort -u > "$tmpdir/code"
+
+# Names documented: every backticked `p3s.x.y...` in OBSERVABILITY.md.
+# The pattern stops before '{' so labeled references collapse to the base
+# name.
+grep -hoE '`p3s\.[a-z0-9_.]+' "$root/OBSERVABILITY.md" \
+  | tr -d '`' | sort -u > "$tmpdir/docs"
+
+if cmp -s "$tmpdir/code" "$tmpdir/docs"; then
+  echo "check_docs: OK ($(wc -l < "$tmpdir/code" | tr -d ' ') metric names in sync)"
+  exit 0
+fi
+
+echo "check_docs: src/obs/ and OBSERVABILITY.md disagree on metric names" >&2
+only_code="$(comm -23 "$tmpdir/code" "$tmpdir/docs")"
+only_docs="$(comm -13 "$tmpdir/code" "$tmpdir/docs")"
+if [ -n "$only_code" ]; then
+  echo "--- in code but missing from OBSERVABILITY.md:" >&2
+  echo "$only_code" >&2
+fi
+if [ -n "$only_docs" ]; then
+  echo "--- in OBSERVABILITY.md but not declared in src/obs/:" >&2
+  echo "$only_docs" >&2
+fi
+exit 1

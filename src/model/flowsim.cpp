@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/metrics.hpp"
 #include "sim/engine.hpp"
 #include "sim/simnet.hpp"
 
@@ -107,6 +108,8 @@ struct BaselineSim {
                                                  kTagMetadata),
                      payload);
     }
+    // Observability spans recorded during the run carry SIMULATED time.
+    obs::ClockGuard obs_clock(obs::Registry::global(), engine.clock_fn());
     engine.run();
   }
 
@@ -226,6 +229,7 @@ struct P3sSim {
         net.send_sized("pub-c", "ds-store-in", make_frame(id, kTagStore), ca);
       });
     }
+    obs::ClockGuard obs_clock(obs::Registry::global(), engine.clock_fn());
     engine.run();
   }
 

@@ -3,10 +3,37 @@
 #include "common/serial.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/hmac.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 
 namespace p3s::net {
 
 namespace {
+
+// Metric handles resolved once; every instance of every channel shares them.
+struct ChanMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& handshakes_client =
+      reg.counter(obs::names::kChanHandshakesTotal,
+                  {{"side", obs::labels::kSideClient}});
+  obs::Counter& handshakes_server =
+      reg.counter(obs::names::kChanHandshakesTotal,
+                  {{"side", obs::labels::kSideServer}});
+  obs::Counter& handshake_failures =
+      reg.counter(obs::names::kChanHandshakeFailuresTotal);
+  obs::Counter& sealed = reg.counter(obs::names::kChanRecordsSealedTotal);
+  obs::Counter& opened = reg.counter(obs::names::kChanRecordsOpenedTotal);
+  obs::Counter& open_failures =
+      reg.counter(obs::names::kChanOpenFailuresTotal);
+  obs::Histogram& record_bytes =
+      reg.histogram(obs::names::kChanRecordBytes, {}, "bytes");
+};
+
+ChanMetrics& chan_metrics() {
+  static ChanMetrics m;
+  return m;
+}
+
 Bytes direction_key(BytesView master, const char* label) {
   return crypto::hkdf_expand(crypto::hkdf_extract(str_to_bytes("p3s-chan"), master),
                              str_to_bytes(label), 32);
@@ -25,6 +52,7 @@ SecureSession SecureSession::initiate(const pairing::Pairing& pairing,
                                       Bytes& hello_out) {
   const Bytes master = rng.bytes(32);
   hello_out = pairing::ecies_encrypt(pairing, server_pk, master, rng);
+  chan_metrics().handshakes_client.inc();
   return SecureSession(master, /*is_client=*/true);
 }
 
@@ -32,7 +60,11 @@ std::optional<SecureSession> SecureSession::accept(
     const pairing::Pairing& pairing, const math::BigInt& server_sk,
     BytesView hello) {
   const auto master = pairing::ecies_decrypt(pairing, server_sk, hello);
-  if (!master.has_value() || master->size() != 32) return std::nullopt;
+  if (!master.has_value() || master->size() != 32) {
+    chan_metrics().handshake_failures.inc();
+    return std::nullopt;
+  }
+  chan_metrics().handshakes_server.inc();
   return SecureSession(*master, /*is_client=*/false);
 }
 
@@ -44,24 +76,37 @@ Bytes SecureSession::seal(BytesView plaintext, Rng& rng) {
   Writer w;
   w.u64(send_seq_++);
   w.bytes(ct.serialize());
-  return w.take();
+  Bytes record = w.take();
+  ChanMetrics& m = chan_metrics();
+  m.sealed.inc();
+  m.record_bytes.record(static_cast<double>(record.size()));
+  return record;
 }
 
 std::optional<Bytes> SecureSession::open(BytesView record) {
+  ChanMetrics& m = chan_metrics();
   try {
     Reader r(record);
     const std::uint64_t seq = r.u64();
     const Bytes body = r.bytes();
     r.expect_done();
-    if (seq < recv_seq_) return std::nullopt;  // replay/reorder
+    if (seq < recv_seq_) {
+      m.open_failures.inc();
+      return std::nullopt;  // replay/reorder
+    }
     Writer aad;
     aad.u64(seq);
     const auto pt = crypto::aead_decrypt(
         recv_key_, crypto::AeadCiphertext::deserialize(body), aad.data());
-    if (!pt.has_value()) return std::nullopt;
+    if (!pt.has_value()) {
+      m.open_failures.inc();
+      return std::nullopt;
+    }
     recv_seq_ = seq + 1;
+    m.opened.inc();
     return pt;
   } catch (const std::exception&) {
+    m.open_failures.inc();
     return std::nullopt;
   }
 }

@@ -1,0 +1,97 @@
+#include "obs/catalog.hpp"
+
+#include "obs/metrics.hpp"
+
+namespace p3s::obs {
+
+void register_catalog(Registry& r) {
+  using namespace names;   // NOLINT
+  using namespace labels;  // NOLINT
+  const auto lat = Histogram::latency_bounds();
+  const auto sz = Histogram::size_bounds();
+
+  // Publisher.
+  r.counter(kPubPublishTotal, {}, "1", "items published");
+  r.histogram(kPubPublishSeconds, {}, "seconds",
+              "publish() call: encrypt + submit content + metadata", lat);
+  r.histogram(kPubPbeEncryptSeconds, {}, "seconds",
+              "HVE encryption of the GUID under the metadata vector", lat);
+  r.histogram(kPubAbeEncryptSeconds, {}, "seconds",
+              "CP-ABE encryption of (GUID, payload) under the policy", lat);
+  r.histogram(kPubPayloadBytes, {}, "bytes", "plaintext payload size", sz);
+
+  // Dissemination server.
+  r.counter(kDsPublishesTotal, {}, "1", "metadata publishes accepted");
+  r.counter(kDsFanoutTotal, {}, "1", "metadata notifications fanned out");
+  r.histogram(kDsFanoutBatch, {}, "1", "subscribers notified per publish",
+              Histogram::exponential_bounds(1.0, 2.0, 16));
+  r.counter(kDsContentForwardedTotal, {}, "1", "content frames sent to RS");
+  r.gauge(kDsSubscribers, {}, "1", "registered subscribers");
+  r.gauge(kDsPublishers, {}, "1", "registered publishers");
+  r.gauge(kDsSessions, {}, "1", "live secure-channel sessions");
+
+  // Repository server.
+  r.counter(kRsStoreTotal, {}, "1", "items stored");
+  r.histogram(kRsStoredBytes, {}, "bytes", "stored CP-ABE ciphertext size",
+              sz);
+  r.counter(kRsFetchTotal, {{"status", kStatusOk}}, "1",
+            "content requests answered with the ciphertext");
+  r.counter(kRsFetchTotal, {{"status", kStatusNotFound}}, "1",
+            "content requests for expired/unknown GUIDs");
+  r.gauge(kRsItems, {}, "1", "items currently stored");
+  r.counter(kRsGcReclaimedTotal, {}, "1", "items reclaimed by TTL GC");
+
+  // PBE token server.
+  r.counter(kTsTokensIssuedTotal, {}, "1", "HVE tokens issued");
+  r.counter(kTsRejectedTotal, {}, "1", "token requests rejected");
+  r.histogram(kTsGentokenSeconds, {}, "seconds", "HVE GenToken runtime", lat);
+
+  // Registration authority.
+  r.counter(kAraRegistrationsTotal, {{"role", kRoleSubscriber}}, "1",
+            "subscriber registrations");
+  r.counter(kAraRegistrationsTotal, {{"role", kRolePublisher}}, "1",
+            "publisher registrations");
+
+  // Anonymizing relay.
+  r.counter(kAnonForwardedTotal, {}, "1", "requests relayed to a service");
+  r.counter(kAnonRepliesTotal, {}, "1", "replies relayed back");
+  r.gauge(kAnonPending, {}, "1", "requests awaiting a reply");
+
+  // Subscriber.
+  r.counter(kSubMetadataReceivedTotal, {}, "1", "metadata broadcasts seen");
+  r.counter(kSubMatchAttemptsTotal, {}, "1",
+            "HVE query evaluations (pairing work)");
+  r.counter(kSubMatchHitsTotal, {}, "1", "broadcasts that matched a token");
+  r.histogram(kSubMatchSeconds, {}, "seconds",
+              "local matching of one broadcast against all tokens", lat);
+  r.histogram(kSubDecryptSeconds, {}, "seconds",
+              "CP-ABE decryption of a fetched payload", lat);
+  r.counter(kSubDeliveriesTotal, {}, "1", "payloads decrypted and delivered");
+  r.counter(kSubFetchFailuresTotal, {}, "1",
+            "matched items the RS no longer had");
+  r.counter(kSubUndecryptableTotal, {}, "1",
+            "fetched payloads the attribute key could not decrypt");
+  r.counter(kSubTokenRequestsTotal, {}, "1", "token requests sent");
+  r.counter(kSubTokenRejectionsTotal, {}, "1", "token requests rejected");
+
+  // Secure channel.
+  r.counter(kChanHandshakesTotal, {{"side", kSideClient}}, "1",
+            "sessions initiated");
+  r.counter(kChanHandshakesTotal, {{"side", kSideServer}}, "1",
+            "sessions accepted");
+  r.counter(kChanHandshakeFailuresTotal, {}, "1",
+            "hello blobs that failed to decrypt");
+  r.counter(kChanRecordsSealedTotal, {}, "1", "records sealed");
+  r.counter(kChanRecordsOpenedTotal, {}, "1", "records opened");
+  r.counter(kChanOpenFailuresTotal, {}, "1",
+            "records dropped (replay, reorder, tamper)");
+  r.histogram(kChanRecordBytes, {}, "bytes", "sealed record size", sz);
+
+  // Simulation.
+  r.counter(kSimEventsTotal, {}, "1", "discrete events executed");
+  r.gauge(kSimQueueDepth, {}, "1", "pending events in the engine queue");
+  r.counter(kSimFramesTotal, {}, "1", "frames sent through SimNetwork");
+  r.histogram(kSimFrameBytes, {}, "bytes", "simulated wire frame size", sz);
+}
+
+}  // namespace p3s::obs

@@ -1,0 +1,202 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+
+namespace p3s::obs {
+
+namespace {
+
+const char* type_name(MetricType t) {
+  switch (t) {
+    case MetricType::kCounter:
+      return "counter";
+    case MetricType::kGauge:
+      return "gauge";
+    case MetricType::kHistogram:
+      return "histogram";
+  }
+  return "?";
+}
+
+// Human scale for a value in the metric's unit.
+std::string human_value(double v, const std::string& unit) {
+  char buf[64];
+  if (unit == "seconds") {
+    if (v >= 1.0) {
+      std::snprintf(buf, sizeof(buf), "%.4gs", v);
+    } else if (v >= 1e-3) {
+      std::snprintf(buf, sizeof(buf), "%.4gms", v * 1e3);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4gus", v * 1e6);
+    }
+  } else if (unit == "bytes") {
+    if (v >= 1024.0 * 1024.0) {
+      std::snprintf(buf, sizeof(buf), "%.4gMB", v / (1024.0 * 1024.0));
+    } else if (v >= 1024.0) {
+      std::snprintf(buf, sizeof(buf), "%.4gKB", v / 1024.0);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%.4gB", v);
+    }
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.4g", v);
+  }
+  return buf;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  std::string s = buf;
+  // JSON has no inf/nan literals; clamp to null-free safe output.
+  if (s.find("inf") != std::string::npos ||
+      s.find("nan") != std::string::npos) {
+    return "0";
+  }
+  return s;
+}
+
+std::string json_string(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out += c;
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+std::string render_text(const RegistrySnapshot& snap, std::size_t max_spans) {
+  std::size_t width = 0;
+  for (const auto& m : snap.metrics) width = std::max(width, m.name.size());
+
+  std::string out;
+  char line[256];
+  for (const auto& m : snap.metrics) {
+    switch (m.type) {
+      case MetricType::kCounter:
+        std::snprintf(line, sizeof(line), "%-*s  counter    %" PRIu64 "\n",
+                      static_cast<int>(width), m.name.c_str(),
+                      m.counter_value);
+        break;
+      case MetricType::kGauge:
+        std::snprintf(line, sizeof(line), "%-*s  gauge      %" PRId64 "\n",
+                      static_cast<int>(width), m.name.c_str(), m.gauge_value);
+        break;
+      case MetricType::kHistogram: {
+        const double mean =
+            m.count == 0 ? 0.0 : m.sum / static_cast<double>(m.count);
+        std::snprintf(line, sizeof(line),
+                      "%-*s  histogram  count=%" PRIu64
+                      " mean=%s p50=%s p95=%s p99=%s\n",
+                      static_cast<int>(width), m.name.c_str(), m.count,
+                      human_value(mean, m.unit).c_str(),
+                      human_value(m.p50, m.unit).c_str(),
+                      human_value(m.p95, m.unit).c_str(),
+                      human_value(m.p99, m.unit).c_str());
+        break;
+      }
+    }
+    out += line;
+  }
+  if (max_spans > 0 && !snap.spans.empty()) {
+    out += "recent spans (most recent first):\n";
+    std::size_t shown = 0;
+    for (const auto& s : snap.spans) {
+      if (shown++ >= max_spans) break;
+      std::snprintf(line, sizeof(line), "  %-*s  t=%.6f  dt=%s\n",
+                    static_cast<int>(width), s.name, s.start,
+                    human_value(s.duration, "seconds").c_str());
+      out += line;
+    }
+  }
+  return out;
+}
+
+std::string render_text(const Registry& registry, std::size_t max_spans) {
+  return render_text(registry.snapshot(), max_spans);
+}
+
+std::string render_json(const RegistrySnapshot& snap, std::size_t max_spans) {
+  std::string out = "{\"p3s_metrics_version\":1,\"time\":";
+  out += json_number(snap.time);
+  out += ",\"enabled\":";
+  out += snap.enabled ? "true" : "false";
+  out += ",\"metrics\":[";
+  bool first = true;
+  char buf[64];
+  for (const auto& m : snap.metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":";
+    out += json_string(m.name);
+    out += ",\"type\":\"";
+    out += type_name(m.type);
+    out += "\",\"unit\":";
+    out += json_string(m.unit);
+    out += ",\"help\":";
+    out += json_string(m.help);
+    switch (m.type) {
+      case MetricType::kCounter:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRIu64 "}",
+                      m.counter_value);
+        out += buf;
+        break;
+      case MetricType::kGauge:
+        std::snprintf(buf, sizeof(buf), ",\"value\":%" PRId64 "}",
+                      m.gauge_value);
+        out += buf;
+        break;
+      case MetricType::kHistogram:
+        std::snprintf(buf, sizeof(buf), ",\"count\":%" PRIu64, m.count);
+        out += buf;
+        out += ",\"sum\":" + json_number(m.sum);
+        out += ",\"p50\":" + json_number(m.p50);
+        out += ",\"p95\":" + json_number(m.p95);
+        out += ",\"p99\":" + json_number(m.p99) + "}";
+        break;
+    }
+  }
+  out += "],\"spans\":[";
+  first = true;
+  std::size_t shown = 0;
+  for (const auto& s : snap.spans) {
+    if (shown++ >= max_spans) break;
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += s.name;  // interned closed-vocabulary string
+    out += "\",\"start\":" + json_number(s.start);
+    out += ",\"dur\":" + json_number(s.duration) + "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_json(const Registry& registry, std::size_t max_spans) {
+  return render_json(registry.snapshot(), max_spans);
+}
+
+void write_json_file(const Registry& registry, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    throw std::runtime_error("obs: cannot open '" + path + "' for write");
+  }
+  out << render_json(registry) << "\n";
+  if (!out) throw std::runtime_error("obs: write to '" + path + "' failed");
+}
+
+}  // namespace p3s::obs

@@ -1,0 +1,31 @@
+// Snapshot exporters: aligned text for humans (REPL `stats`, bench
+// epilogues) and JSON for tooling (`BENCH_*.json` trajectory files). Both
+// render only closed-vocabulary names and numeric values — the privacy
+// suite greps these outputs for leaks.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"
+
+namespace p3s::obs {
+
+/// Aligned text table, one metric per line, sorted by name. Histograms show
+/// count/mean/p50/p95/p99 scaled by their unit; `max_spans` recent trace
+/// spans are appended when nonzero.
+std::string render_text(const RegistrySnapshot& snapshot,
+                        std::size_t max_spans = 0);
+std::string render_text(const Registry& registry, std::size_t max_spans = 0);
+
+/// Stable JSON document: {"p3s_metrics_version":1,"time":…,"metrics":[…],
+/// "spans":[…]}. Keys and names need no escaping by construction (closed
+/// vocabulary), numbers use shortest-roundtrip formatting.
+std::string render_json(const RegistrySnapshot& snapshot,
+                        std::size_t max_spans = 64);
+std::string render_json(const Registry& registry, std::size_t max_spans = 64);
+
+/// Write render_json() to `path` (truncating). Throws std::runtime_error on
+/// I/O failure.
+void write_json_file(const Registry& registry, const std::string& path);
+
+}  // namespace p3s::obs

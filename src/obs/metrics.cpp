@@ -1,0 +1,282 @@
+#include "obs/metrics.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <chrono>
+#include <stdexcept>
+
+#include "obs/catalog.hpp"
+
+namespace p3s::obs {
+
+std::vector<double> Histogram::exponential_bounds(double start, double factor,
+                                                  std::size_t count) {
+  if (start <= 0.0 || factor <= 1.0 || count == 0) {
+    throw std::invalid_argument("Histogram: bad exponential bounds");
+  }
+  std::vector<double> bounds;
+  bounds.reserve(count);
+  double b = start;
+  for (std::size_t i = 0; i < count; ++i, b *= factor) bounds.push_back(b);
+  return bounds;
+}
+
+Histogram::Histogram(const std::atomic<bool>* enabled,
+                     std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(bounds_.size() + 1),
+      enabled_(enabled) {
+  if (bounds_.empty() || !std::is_sorted(bounds_.begin(), bounds_.end())) {
+    throw std::invalid_argument("Histogram: bounds must be sorted, non-empty");
+  }
+}
+
+void Histogram::record(double value) noexcept {
+  if (!enabled_->load(std::memory_order_relaxed)) return;
+  const auto it = std::upper_bound(bounds_.begin(), bounds_.end(), value);
+  buckets_[static_cast<std::size_t>(it - bounds_.begin())].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  // Accumulate the sum as a CAS loop over the double's bit pattern: keeps
+  // the hot path lock-free without requiring atomic<double>::fetch_add.
+  std::uint64_t expected = sum_bits_.load(std::memory_order_relaxed);
+  while (true) {
+    const double updated = std::bit_cast<double>(expected) + value;
+    if (sum_bits_.compare_exchange_weak(expected,
+                                        std::bit_cast<std::uint64_t>(updated),
+                                        std::memory_order_relaxed)) {
+      break;
+    }
+  }
+}
+
+double Histogram::sum() const noexcept {
+  return std::bit_cast<double>(sum_bits_.load(std::memory_order_relaxed));
+}
+
+double Histogram::percentile(double p) const noexcept {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  p = std::clamp(p, 0.0, 1.0);
+  const double target = p * static_cast<double>(n);
+  std::uint64_t cumulative = 0;
+  for (std::size_t i = 0; i < buckets_.size(); ++i) {
+    const std::uint64_t in_bucket =
+        buckets_[i].load(std::memory_order_relaxed);
+    if (in_bucket == 0) continue;
+    if (static_cast<double>(cumulative + in_bucket) >= target) {
+      // Interpolate linearly inside this bucket.
+      const double lo = i == 0 ? 0.0 : bounds_[i - 1];
+      const double hi = i < bounds_.size() ? bounds_[i]
+                                           : bounds_.back();  // overflow: clamp
+      const double frac =
+          (target - static_cast<double>(cumulative)) /
+          static_cast<double>(in_bucket);
+      return lo + (hi - lo) * std::clamp(frac, 0.0, 1.0);
+    }
+    cumulative += in_bucket;
+  }
+  return bounds_.back();
+}
+
+void Histogram::reset() noexcept {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_bits_.store(0, std::memory_order_relaxed);
+}
+
+Registry::Registry() = default;
+
+Registry& Registry::global() {
+  static Registry* instance = [] {
+    auto* r = new Registry();  // never destroyed: safe to touch at exit
+    register_catalog(*r);
+    return r;
+  }();
+  return *instance;
+}
+
+namespace {
+bool vocab_char(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_' ||
+         c == '.';
+}
+bool vocab_word(std::string_view s) {
+  if (s.empty() || s.size() > 64) return false;
+  return std::all_of(s.begin(), s.end(), vocab_char);
+}
+}  // namespace
+
+bool Registry::valid_name(std::string_view name) {
+  // Closed vocabulary: "p3s.<component>.<metric>", lowercase [a-z0-9_.].
+  // This is the privacy chokepoint — runtime strings (interest values,
+  // pseudonyms, payloads) contain characters or prefixes this rejects, and
+  // every exported byte of a name passed through here.
+  if (!vocab_word(name)) return false;
+  if (!name.starts_with("p3s.")) return false;
+  return std::count(name.begin(), name.end(), '.') >= 2;
+}
+
+bool Registry::valid_label(std::string_view key, std::string_view value) {
+  return vocab_word(key) && vocab_word(value) && key.find('.') ==
+         std::string_view::npos;
+}
+
+Registry::Entry& Registry::find_or_create(std::string_view name,
+                                          const Labels& labels,
+                                          MetricType type,
+                                          std::string_view unit,
+                                          std::string_view help,
+                                          std::vector<double> bounds) {
+  if (!valid_name(name)) {
+    throw std::invalid_argument("obs: metric name outside closed vocabulary: '" +
+                                std::string(name) + "'");
+  }
+  std::string key(name);
+  if (!labels.empty()) {
+    key += '{';
+    bool first = true;
+    for (const auto& [k, v] : labels) {
+      if (!valid_label(k, v)) {
+        throw std::invalid_argument("obs: label outside closed vocabulary: '" +
+                                    k + "=" + v + "'");
+      }
+      if (!first) key += ',';
+      first = false;
+      key += k;
+      key += '=';
+      key += v;
+    }
+    key += '}';
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = metrics_.find(key);
+  if (it != metrics_.end()) {
+    if (it->second.type != type) {
+      throw std::invalid_argument("obs: metric '" + key +
+                                  "' re-registered with a different type");
+    }
+    return it->second;
+  }
+  Entry entry;
+  entry.type = type;
+  entry.unit = std::string(unit);
+  entry.help = std::string(help);
+  switch (type) {
+    case MetricType::kCounter:
+      entry.counter.reset(new Counter(&enabled_));
+      break;
+    case MetricType::kGauge:
+      entry.gauge.reset(new Gauge(&enabled_));
+      break;
+    case MetricType::kHistogram:
+      if (bounds.empty()) bounds = Histogram::latency_bounds();
+      entry.histogram.reset(new Histogram(&enabled_, std::move(bounds)));
+      break;
+  }
+  return metrics_.emplace(std::move(key), std::move(entry)).first->second;
+}
+
+Counter& Registry::counter(std::string_view name, const Labels& labels,
+                           std::string_view unit, std::string_view help) {
+  return *find_or_create(name, labels, MetricType::kCounter, unit, help, {})
+              .counter;
+}
+
+Gauge& Registry::gauge(std::string_view name, const Labels& labels,
+                       std::string_view unit, std::string_view help) {
+  return *find_or_create(name, labels, MetricType::kGauge, unit, help, {})
+              .gauge;
+}
+
+Histogram& Registry::histogram(std::string_view name, const Labels& labels,
+                               std::string_view unit, std::string_view help,
+                               std::vector<double> bounds) {
+  return *find_or_create(name, labels, MetricType::kHistogram, unit, help,
+                         std::move(bounds))
+              .histogram;
+}
+
+void Registry::set_clock(Clock clock) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  clock_ = std::move(clock);
+}
+
+double Registry::now() const {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (clock_) return clock_();
+  }
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void Registry::record_span(const char* name, double start, double duration) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const std::uint64_t slot =
+      span_next_.fetch_add(1, std::memory_order_relaxed) % kSpanRing;
+  spans_[slot] = SpanRecord{name, start, duration};
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [key, entry] : metrics_) {
+    switch (entry.type) {
+      case MetricType::kCounter:
+        entry.counter->reset();
+        break;
+      case MetricType::kGauge:
+        entry.gauge->reset();
+        break;
+      case MetricType::kHistogram:
+        entry.histogram->reset();
+        break;
+    }
+  }
+  spans_.fill(SpanRecord{});
+  span_next_.store(0, std::memory_order_relaxed);
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  RegistrySnapshot snap;
+  snap.time = now();
+  snap.enabled = enabled();
+  std::lock_guard<std::mutex> lock(mutex_);
+  snap.metrics.reserve(metrics_.size());
+  for (const auto& [key, entry] : metrics_) {  // map order == name-sorted
+    MetricSnapshot m;
+    m.name = key;
+    m.type = entry.type;
+    m.unit = entry.unit;
+    m.help = entry.help;
+    switch (entry.type) {
+      case MetricType::kCounter:
+        m.counter_value = entry.counter->value();
+        break;
+      case MetricType::kGauge:
+        m.gauge_value = entry.gauge->value();
+        break;
+      case MetricType::kHistogram:
+        m.count = entry.histogram->count();
+        m.sum = entry.histogram->sum();
+        m.p50 = entry.histogram->percentile(0.50);
+        m.p95 = entry.histogram->percentile(0.95);
+        m.p99 = entry.histogram->percentile(0.99);
+        break;
+    }
+    snap.metrics.push_back(std::move(m));
+  }
+  // Most recent spans first, bounded to the ring size.
+  const std::uint64_t next = span_next_.load(std::memory_order_relaxed);
+  const std::uint64_t recorded = std::min<std::uint64_t>(next, kSpanRing);
+  snap.spans.reserve(recorded);
+  for (std::uint64_t i = 0; i < recorded; ++i) {
+    const SpanRecord& rec = spans_[(next - 1 - i) % kSpanRing];
+    if (rec.name != nullptr) snap.spans.push_back(rec);
+  }
+  return snap;
+}
+
+}  // namespace p3s::obs

@@ -1,9 +1,25 @@
 #include "p3s/anonymizer.hpp"
 
 #include "common/log.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct AnonMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& forwarded = reg.counter(obs::names::kAnonForwardedTotal);
+  obs::Counter& replies = reg.counter(obs::names::kAnonRepliesTotal);
+  obs::Gauge& pending = reg.gauge(obs::names::kAnonPending);
+};
+
+AnonMetrics& anon_metrics() {
+  static AnonMetrics m;
+  return m;
+}
+}  // namespace
 
 Anonymizer::Anonymizer(net::Network& network, std::string name)
     : network_(network), name_(std::move(name)) {
@@ -31,6 +47,9 @@ void Anonymizer::on_frame(const std::string& from, BytesView data) {
       const std::uint64_t tag = next_tag_++;
       pending_[tag] = Pending{from, body.tag};
       observations_.push_back({from, dest, request.size()});
+      AnonMetrics& metrics = anon_metrics();
+      metrics.forwarded.inc();
+      metrics.pending.set(static_cast<std::int64_t>(pending_.size()));
       network_.send(name_, dest, tagged_frame(req_type, tag, body.payload));
       return;
     }
@@ -41,6 +60,9 @@ void Anonymizer::on_frame(const std::string& from, BytesView data) {
       if (it == pending_.end()) return;  // stale/unknown tag: drop
       const Pending origin = it->second;
       pending_.erase(it);
+      AnonMetrics& metrics = anon_metrics();
+      metrics.replies.inc();
+      metrics.pending.set(static_cast<std::int64_t>(pending_.size()));
       network_.send(name_, origin.requester,
                     tagged_frame(type, origin.original_tag, body.payload));
       return;

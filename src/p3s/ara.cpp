@@ -1,6 +1,16 @@
 #include "p3s/ara.hpp"
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
 namespace p3s::core {
+
+namespace {
+obs::Counter& registrations(const char* role) {
+  return obs::Registry::global().counter(obs::names::kAraRegistrationsTotal,
+                                         {{"role", role}});
+}
+}  // namespace
 
 Ara::Ara(pairing::PairingPtr pairing, pbe::MetadataSchema schema, Rng& rng,
          std::optional<pbe::EpochPolicy> epoch, bool embedded_token_server)
@@ -38,6 +48,7 @@ SubscriberCredentials Ara::register_subscriber(
       epoch_,
       embedded_token_server_ ? std::optional<pbe::HveKeys>(hve_keys_)
                              : std::nullopt};
+  registrations(obs::labels::kRoleSubscriber).inc();
   return creds;
 }
 
@@ -50,6 +61,7 @@ PublisherCredentials Ara::register_publisher(const std::string& pseudonym,
       issue_certificate(pseudonym, Certificate::Role::kPublisher, rng),
       services_,
       epoch_};
+  registrations(obs::labels::kRolePublisher).inc();
   return creds;
 }
 

@@ -2,9 +2,32 @@
 
 #include "common/log.hpp"
 #include "common/serial.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct DsMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& publishes = reg.counter(obs::names::kDsPublishesTotal);
+  obs::Counter& fanout = reg.counter(obs::names::kDsFanoutTotal);
+  obs::Histogram& fanout_batch = reg.histogram(
+      obs::names::kDsFanoutBatch, {}, "1", "",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 16));
+  obs::Counter& content_forwarded =
+      reg.counter(obs::names::kDsContentForwardedTotal);
+  obs::Gauge& subscribers = reg.gauge(obs::names::kDsSubscribers);
+  obs::Gauge& publishers = reg.gauge(obs::names::kDsPublishers);
+  obs::Gauge& sessions = reg.gauge(obs::names::kDsSessions);
+};
+
+DsMetrics& ds_metrics() {
+  static DsMetrics m;
+  return m;
+}
+}  // namespace
 
 DisseminationServer::DisseminationServer(
     net::Network& network, std::string name, pairing::PairingPtr pairing,
@@ -31,6 +54,10 @@ void DisseminationServer::crash_and_restart() {
   sessions_.clear();
   subscribers_.clear();
   publishers_.clear();
+  DsMetrics& metrics = ds_metrics();
+  metrics.sessions.set(0);
+  metrics.subscribers.set(0);
+  metrics.publishers.set(0);
 }
 
 void DisseminationServer::send_sealed(const std::string& to, BytesView inner) {
@@ -56,6 +83,7 @@ void DisseminationServer::on_frame(const std::string& from, BytesView data) {
         return;
       }
       sessions_.insert_or_assign(from, std::move(*session));
+      ds_metrics().sessions.set(static_cast<std::int64_t>(sessions_.size()));
       return;
     }
 
@@ -85,24 +113,31 @@ void DisseminationServer::handle_inner(const std::string& from,
   observations_.push_back(
       {from, inner.size(), static_cast<std::uint8_t>(type)});
 
+  DsMetrics& metrics = ds_metrics();
   switch (type) {
     case FrameType::kRegisterSubscriber:
       subscribers_.insert(from);
+      metrics.subscribers.set(static_cast<std::int64_t>(subscribers_.size()));
       send_sealed(from, frame(FrameType::kAck));
       return;
     case FrameType::kRegisterPublisher:
       publishers_.insert(from);
+      metrics.publishers.set(static_cast<std::int64_t>(publishers_.size()));
       send_sealed(from, frame(FrameType::kAck));
       return;
     case FrameType::kUnregister:
       subscribers_.erase(from);
       publishers_.erase(from);
       sessions_.erase(from);
+      metrics.subscribers.set(static_cast<std::int64_t>(subscribers_.size()));
+      metrics.publishers.set(static_cast<std::int64_t>(publishers_.size()));
+      metrics.sessions.set(static_cast<std::int64_t>(sessions_.size()));
       return;
     case FrameType::kPublishMetadata: {
       if (!publishers_.contains(from)) return;
       const Bytes hve_ct = r.bytes();
       r.expect_done();
+      metrics.publishes.inc();
       // Fan out to every registered subscriber; the DS cannot tell who (if
       // anyone) will match — that is the point.
       Writer fwd;
@@ -111,6 +146,8 @@ void DisseminationServer::handle_inner(const std::string& from,
       for (const std::string& sub : subscribers_) {
         send_sealed(sub, fwd.data());
       }
+      metrics.fanout.inc(subscribers_.size());
+      metrics.fanout_batch.record(static_cast<double>(subscribers_.size()));
       return;
     }
     case FrameType::kPublishContent: {
@@ -118,6 +155,7 @@ void DisseminationServer::handle_inner(const std::string& from,
       ContentBody body = read_content(r);
       network_.send(name_, rs_name_,
                     frame(FrameType::kStoreContent, content_body(body)));
+      metrics.content_forwarded.inc();
       return;
     }
     default:

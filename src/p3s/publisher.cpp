@@ -4,9 +4,31 @@
 
 #include "common/log.hpp"
 #include "common/serial.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct PubMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& publishes = reg.counter(obs::names::kPubPublishTotal);
+  obs::Histogram& publish_seconds =
+      reg.histogram(obs::names::kPubPublishSeconds);
+  obs::Histogram& pbe_encrypt_seconds =
+      reg.histogram(obs::names::kPubPbeEncryptSeconds);
+  obs::Histogram& abe_encrypt_seconds =
+      reg.histogram(obs::names::kPubAbeEncryptSeconds);
+  obs::Histogram& payload_bytes =
+      reg.histogram(obs::names::kPubPayloadBytes, {}, "bytes");
+};
+
+PubMetrics& pub_metrics() {
+  static PubMetrics m;
+  return m;
+}
+}  // namespace
 
 Publisher::Publisher(net::Network& network, std::string name,
                      PublisherCredentials credentials, Rng& rng)
@@ -69,6 +91,12 @@ Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
                         const abe::PolicyNode& policy, double ttl_seconds) {
   if (!connected_) throw std::logic_error("Publisher: not connected");
 
+  PubMetrics& metrics = pub_metrics();
+  obs::ScopedTimer publish_timer(metrics.reg, metrics.publish_seconds,
+                                 obs::names::kPubPublishSeconds);
+  metrics.publishes.inc();
+  metrics.payload_bytes.record(static_cast<double>(payload.size()));
+
   const Guid guid = Guid::random(rng_);
 
   // Token-revocation epochs (§6.1 mitigation): stamp the metadata with the
@@ -86,8 +114,11 @@ Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
   Writer tuple;
   tuple.raw(guid.to_bytes());
   tuple.bytes(payload);
-  const Bytes abe_ct =
-      abe::cpabe_encrypt_bytes(creds_.abe_pk, tuple.data(), policy, rng_);
+  const Bytes abe_ct = [&] {
+    obs::ScopedTimer t(metrics.reg, metrics.abe_encrypt_seconds,
+                       obs::names::kPubAbeEncryptSeconds);
+    return abe::cpabe_encrypt_bytes(creds_.abe_pk, tuple.data(), policy, rng_);
+  }();
   ContentBody body;
   body.guid_wrapped = super_encrypt_guid_;
   body.guid_field =
@@ -105,8 +136,11 @@ Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
   // PBE-encrypt the GUID under the metadata vector and send it to the DS
   // for dissemination to all subscribers (paper Fig. 4).
   const pbe::BitVector bits = creds_.schema.encode_metadata(stamped);
-  const Bytes hve_ct =
-      pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng_);
+  const Bytes hve_ct = [&] {
+    obs::ScopedTimer t(metrics.reg, metrics.pbe_encrypt_seconds,
+                       obs::names::kPubPbeEncryptSeconds);
+    return pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng_);
+  }();
   Writer meta_frame;
   meta_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
   meta_frame.bytes(hve_ct);

@@ -5,9 +5,31 @@
 #include "common/log.hpp"
 #include "common/serial.hpp"
 #include "crypto/aead.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct RsMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& stores = reg.counter(obs::names::kRsStoreTotal);
+  obs::Histogram& stored_bytes =
+      reg.histogram(obs::names::kRsStoredBytes, {}, "bytes");
+  obs::Counter& fetch_ok = reg.counter(
+      obs::names::kRsFetchTotal, {{"status", obs::labels::kStatusOk}});
+  obs::Counter& fetch_notfound = reg.counter(
+      obs::names::kRsFetchTotal, {{"status", obs::labels::kStatusNotFound}});
+  obs::Gauge& items = reg.gauge(obs::names::kRsItems);
+  obs::Counter& gc_reclaimed = reg.counter(obs::names::kRsGcReclaimedTotal);
+};
+
+RsMetrics& rs_metrics() {
+  static RsMetrics m;
+  return m;
+}
+}  // namespace
 
 RepositoryServer::RepositoryServer(net::Network& network, std::string name,
                                    pairing::PairingPtr pairing, Rng& rng,
@@ -37,6 +59,9 @@ std::size_t RepositoryServer::garbage_collect() {
       ++it;
     }
   }
+  RsMetrics& metrics = rs_metrics();
+  metrics.gc_reclaimed.inc(collected);
+  metrics.items.set(static_cast<std::int64_t>(store_.size()));
   return collected;
 }
 
@@ -61,8 +86,13 @@ void RepositoryServer::on_frame(const std::string& from, BytesView data) {
       } else {
         guid = Guid::from_bytes(body.guid_field);
       }
+      RsMetrics& metrics = rs_metrics();
+      metrics.stores.inc();
+      metrics.stored_bytes.record(
+          static_cast<double>(body.abe_ciphertext.size()));
       store_[guid] = Item{std::move(body.abe_ciphertext),
                           network_.now() + body.ttl_seconds + grace_seconds_};
+      metrics.items.set(static_cast<std::int64_t>(store_.size()));
       return;
     }
 
@@ -81,9 +111,11 @@ void RepositoryServer::on_frame(const std::string& from, BytesView data) {
       Writer inner;
       const auto it = store_.find(guid);
       if (it == store_.end() || it->second.expires_at <= network_.now()) {
+        rs_metrics().fetch_notfound.inc();
         inner.u8(kStatusNotFound);
         inner.bytes({});
       } else {
+        rs_metrics().fetch_ok.inc();
         inner.u8(kStatusOk);
         inner.bytes(it->second.abe_ciphertext);
       }
@@ -147,6 +179,7 @@ void RepositoryServer::restore(BytesView snapshot) {
   }
   r.expect_done();
   store_ = std::move(restored);
+  rs_metrics().items.set(static_cast<std::int64_t>(store_.size()));
 }
 
 }  // namespace p3s::core

@@ -6,9 +6,40 @@
 #include "common/log.hpp"
 #include "common/serial.hpp"
 #include "crypto/aead.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct SubMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& metadata_received =
+      reg.counter(obs::names::kSubMetadataReceivedTotal);
+  obs::Counter& match_attempts =
+      reg.counter(obs::names::kSubMatchAttemptsTotal);
+  obs::Counter& match_hits = reg.counter(obs::names::kSubMatchHitsTotal);
+  obs::Histogram& match_seconds =
+      reg.histogram(obs::names::kSubMatchSeconds);
+  obs::Histogram& decrypt_seconds =
+      reg.histogram(obs::names::kSubDecryptSeconds);
+  obs::Counter& deliveries = reg.counter(obs::names::kSubDeliveriesTotal);
+  obs::Counter& fetch_failures =
+      reg.counter(obs::names::kSubFetchFailuresTotal);
+  obs::Counter& undecryptable =
+      reg.counter(obs::names::kSubUndecryptableTotal);
+  obs::Counter& token_requests =
+      reg.counter(obs::names::kSubTokenRequestsTotal);
+  obs::Counter& token_rejections =
+      reg.counter(obs::names::kSubTokenRejectionsTotal);
+};
+
+SubMetrics& sub_metrics() {
+  static SubMetrics m;
+  return m;
+}
+}  // namespace
 
 Subscriber::Subscriber(net::Network& network, std::string name,
                        SubscriberCredentials credentials, Rng& rng,
@@ -93,6 +124,7 @@ void Subscriber::send_service_request(const std::string& service,
 }
 
 void Subscriber::request_token(const pbe::Interest& interest) {
+  sub_metrics().token_requests.inc();
   const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
 
   // Token-revocation epochs (§6.1): restrict the predicate to the current
@@ -185,14 +217,20 @@ void Subscriber::handle_inner(BytesView inner) {
 
 void Subscriber::handle_metadata(BytesView hve_ct) {
   ++metadata_received_;
+  SubMetrics& metrics = sub_metrics();
+  metrics.metadata_received.inc();
+  obs::ScopedTimer match_timer(metrics.reg, metrics.match_seconds,
+                               obs::names::kSubMatchSeconds);
   const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
   // Local matching on encrypted metadata: try every token. A successful
   // KEM decryption reveals exactly the GUID — nothing else about the
   // metadata (attribute hiding).
   for (const pbe::HveToken& token : tokens_) {
+    metrics.match_attempts.inc();
     const auto guid_bytes = pbe::hve_query_bytes(pairing, token, hve_ct);
     if (guid_bytes.has_value() && guid_bytes->size() == Guid::kSize) {
       ++matches_;
+      metrics.match_hits.inc();
       request_content(Guid::from_bytes(*guid_bytes));
       return;  // one match is enough to fetch
     }
@@ -217,6 +255,7 @@ void Subscriber::handle_token_response(BytesView body) {
   pr.expect_done();
   if (status != kStatusOk) {
     ++token_rejections_;
+    sub_metrics().token_rejections.inc();
     return;
   }
   tokens_.push_back(
@@ -239,15 +278,21 @@ void Subscriber::handle_content_response(BytesView body) {
   const std::uint8_t status = pr.u8();
   const Bytes abe_ct = pr.bytes();
   pr.expect_done();
+  SubMetrics& metrics = sub_metrics();
   if (status != kStatusOk) {
     ++fetch_failures_;
+    metrics.fetch_failures.inc();
     return;
   }
 
-  const auto tuple =
-      abe::cpabe_decrypt_bytes(creds_.abe_pk, creds_.abe_sk, abe_ct);
+  const auto tuple = [&] {
+    obs::ScopedTimer t(metrics.reg, metrics.decrypt_seconds,
+                       obs::names::kSubDecryptSeconds);
+    return abe::cpabe_decrypt_bytes(creds_.abe_pk, creds_.abe_sk, abe_ct);
+  }();
   if (!tuple.has_value()) {
     ++undecryptable_;
+    metrics.undecryptable.inc();
     return;
   }
   Reader tr(*tuple);
@@ -256,6 +301,7 @@ void Subscriber::handle_content_response(BytesView body) {
   delivery.payload = tr.bytes();
   tr.expect_done();
   deliveries_.push_back(delivery);
+  metrics.deliveries.inc();
   if (handler_) handler_(deliveries_.back());
 }
 

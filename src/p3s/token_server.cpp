@@ -3,9 +3,26 @@
 #include "common/log.hpp"
 #include "common/serial.hpp"
 #include "crypto/aead.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 
 namespace p3s::core {
+
+namespace {
+struct TsMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& issued = reg.counter(obs::names::kTsTokensIssuedTotal);
+  obs::Counter& rejected = reg.counter(obs::names::kTsRejectedTotal);
+  obs::Histogram& gentoken_seconds =
+      reg.histogram(obs::names::kTsGentokenSeconds);
+};
+
+TsMetrics& ts_metrics() {
+  static TsMetrics m;
+  return m;
+}
+}  // namespace
 
 PbeTokenServer::PbeTokenServer(net::Network& network, std::string name,
                                pairing::PairingPtr pairing,
@@ -42,6 +59,7 @@ void PbeTokenServer::on_frame(const std::string& from, BytesView data) {
                                               body.payload);
     if (!plain.has_value()) {
       ++rejected_;
+      ts_metrics().rejected.inc();
       return;  // cannot even recover Ks: silently drop
     }
     Reader pr(*plain);
@@ -66,6 +84,7 @@ void PbeTokenServer::on_frame(const std::string& from, BytesView data) {
     if (cert.role != Certificate::Role::kSubscriber ||
         !cert.verify(*pairing_, ara_cert_pk_)) {
       ++rejected_;
+      ts_metrics().rejected.inc();
       respond(kStatusRejected, {});
       return;
     }
@@ -75,11 +94,18 @@ void PbeTokenServer::on_frame(const std::string& from, BytesView data) {
     // plaintext predicate, but only the network-visible requester.
     seen_predicates_.push_back({from, interest});
 
+    TsMetrics& metrics = ts_metrics();
     const pbe::Pattern pattern = schema_.encode_interest(interest);
-    const pbe::HveToken token = pbe::hve_gen_token(hve_keys_, pattern, rng_);
+    const pbe::HveToken token = [&] {
+      obs::ScopedTimer t(metrics.reg, metrics.gentoken_seconds,
+                         obs::names::kTsGentokenSeconds);
+      return pbe::hve_gen_token(hve_keys_, pattern, rng_);
+    }();
+    metrics.issued.inc();
     respond(kStatusOk, token.serialize(*pairing_));
   } catch (const std::exception& e) {
     ++rejected_;
+    ts_metrics().rejected.inc();
     log_warn("pbe-ts") << "bad request from " << from << ": " << e.what();
   }
 }

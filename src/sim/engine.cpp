@@ -2,7 +2,23 @@
 
 #include <algorithm>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
 namespace p3s::sim {
+
+namespace {
+struct SimMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& events = reg.counter(obs::names::kSimEventsTotal);
+  obs::Gauge& queue_depth = reg.gauge(obs::names::kSimQueueDepth);
+};
+
+SimMetrics& sim_metrics() {
+  static SimMetrics m;
+  return m;
+}
+}  // namespace
 
 void SimEngine::at(double time, Task task) {
   queue_.push(Event{std::max(time, now_), next_seq_++, std::move(task)});
@@ -19,6 +35,9 @@ bool SimEngine::step() {
   Event ev = std::move(const_cast<Event&>(queue_.top()));
   queue_.pop();
   now_ = ev.time;
+  SimMetrics& metrics = sim_metrics();
+  metrics.events.inc();
+  metrics.queue_depth.set(static_cast<std::int64_t>(queue_.size()));
   ev.task();
   return true;
 }

@@ -22,6 +22,13 @@ class SimEngine {
   double now() const { return now_; }
   bool empty() const { return queue_.empty(); }
 
+  /// Observability: this engine's clock as an obs::Registry clock source
+  /// (see obs::ClockGuard) — latency spans then record SIMULATED seconds.
+  /// The returned callable captures `this`; uninstall before destruction.
+  std::function<double()> clock_fn() {
+    return [this] { return now_; };
+  }
+
   /// Execute the next event; returns false when the queue is empty.
   bool step();
   /// Run until no events remain.

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
 namespace p3s::sim {
+
+namespace {
+struct SimNetMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& frames = reg.counter(obs::names::kSimFramesTotal);
+  obs::Histogram& frame_bytes =
+      reg.histogram(obs::names::kSimFrameBytes, {}, "bytes");
+};
+
+SimNetMetrics& simnet_metrics() {
+  static SimNetMetrics m;
+  return m;
+}
+}  // namespace
 
 void SimNetwork::set_link(const std::string& from, const std::string& to,
                           LinkConfig link) {
@@ -42,6 +59,9 @@ void SimNetwork::send(const std::string& from, const std::string& to,
 void SimNetwork::send_sized(const std::string& from, const std::string& to,
                             Bytes frame, std::size_t wire_size) {
   traffic_.push_back({now(), from, to, wire_size, frame});
+  SimNetMetrics& metrics = simnet_metrics();
+  metrics.frames.inc();
+  metrics.frame_bytes.record(static_cast<double>(wire_size));
   const LinkConfig& link = link_for(from, to);
   const double tx = static_cast<double>(wire_size) * 8.0 / link.bandwidth_bps;
   double& nic_free = nic_free_at_[from];

@@ -1,0 +1,311 @@
+// Tests for the observability layer (src/obs): exact concurrent counting,
+// histogram percentile math, golden exporter output, closed-vocabulary
+// enforcement (the privacy property), clock plumbing, and the
+// zero-allocation guarantee on the hot write paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/catalog.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
+
+// Global allocation counter for the zero-allocation tests. Counting every
+// operator new in the binary is crude but exact: if a hot-path call
+// allocates, the counter moves.
+namespace {
+std::atomic<std::size_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace p3s::obs {
+namespace {
+
+TEST(ObsVocabulary, AcceptsClosedVocabularyNames) {
+  EXPECT_TRUE(Registry::valid_name("p3s.pub.publish_total"));
+  EXPECT_TRUE(Registry::valid_name("p3s.chan.record_bytes"));
+  EXPECT_TRUE(Registry::valid_name("p3s.test.x_9"));
+}
+
+TEST(ObsVocabulary, RejectsEverythingElse) {
+  EXPECT_FALSE(Registry::valid_name(""));
+  EXPECT_FALSE(Registry::valid_name("publish_total"));    // no p3s. prefix
+  EXPECT_FALSE(Registry::valid_name("p3s.publishes"));    // no component
+  EXPECT_FALSE(Registry::valid_name("p3s.pub.Publish"));  // uppercase
+  EXPECT_FALSE(Registry::valid_name("p3s.pub.a b"));      // space
+  EXPECT_FALSE(Registry::valid_name("p3s.pub.org:us"));   // attribute-like
+  EXPECT_FALSE(Registry::valid_name("p3s.sub.interest=finance"));
+  EXPECT_FALSE(Registry::valid_name(std::string(80, 'a')));
+}
+
+TEST(ObsVocabulary, RuntimeStringsCannotBecomeMetricsOrLabels) {
+  Registry reg;
+  // Typical runtime strings — structured interests, payload markers,
+  // pseudonyms, attribute syntax — violate the charset and are rejected at
+  // the API boundary. (A lone lowercase word would pass the charset; the
+  // closed vocabulary holds because names are compile-time constants in
+  // catalog.hpp and privacy_test greps exported snapshots for leaks.)
+  EXPECT_THROW(reg.counter("p3s.sub.sector=finance"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("TOP-SECRET-PAYLOAD"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("p3s.ara.reg.org:us"), std::invalid_argument);
+  EXPECT_THROW(reg.counter("p3s.sub.seen", {{"interest", "topic=markets"}}),
+               std::invalid_argument);
+  EXPECT_THROW(reg.counter("p3s.sub.seen", {{"user", "Alice Smith"}}),
+               std::invalid_argument);
+}
+
+TEST(ObsVocabulary, TypeMismatchThrows) {
+  Registry reg;
+  reg.counter("p3s.test.v");
+  EXPECT_THROW(reg.gauge("p3s.test.v"), std::invalid_argument);
+  EXPECT_THROW(reg.histogram("p3s.test.v"), std::invalid_argument);
+  // Same name, same type: get-or-create returns the same instance.
+  Counter& a = reg.counter("p3s.test.v");
+  Counter& b = reg.counter("p3s.test.v");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(ObsCounter, ConcurrentIncrementsSumExactly) {
+  Registry reg;
+  Counter& c = reg.counter("p3s.test.concurrent_total");
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(ObsGauge, SetAndAdd) {
+  Registry reg;
+  Gauge& g = reg.gauge("p3s.test.depth");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-10);
+  EXPECT_EQ(g.value(), -3);
+}
+
+TEST(ObsHistogram, CountAndSumAreExact) {
+  Registry reg;
+  Histogram& h = reg.histogram("p3s.test.lat", {}, "1", "",
+                               Histogram::exponential_bounds(1.0, 2.0, 12));
+  double expected_sum = 0.0;
+  for (int v = 1; v <= 1000; ++v) {
+    h.record(static_cast<double>(v));
+    expected_sum += v;
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  EXPECT_DOUBLE_EQ(h.sum(), expected_sum);
+  EXPECT_DOUBLE_EQ(h.mean(), expected_sum / 1000.0);
+}
+
+TEST(ObsHistogram, PercentilesOfUniformDistribution) {
+  Registry reg;
+  // Bounds 1,2,4,...,2048: percentile resolution is one bucket width.
+  Histogram& h = reg.histogram("p3s.test.lat", {}, "1", "",
+                               Histogram::exponential_bounds(1.0, 2.0, 12));
+  for (int v = 1; v <= 1000; ++v) h.record(static_cast<double>(v));
+  // True p50 = 500, inside bucket (256, 512].
+  EXPECT_GT(h.percentile(0.50), 256.0);
+  EXPECT_LE(h.percentile(0.50), 512.0);
+  // True p99 = 990, inside bucket (512, 1024].
+  EXPECT_GT(h.percentile(0.99), 512.0);
+  EXPECT_LE(h.percentile(0.99), 1024.0);
+  // Monotone in p.
+  EXPECT_LE(h.percentile(0.50), h.percentile(0.95));
+  EXPECT_LE(h.percentile(0.95), h.percentile(0.99));
+}
+
+TEST(ObsHistogram, PointMassLandsInItsBucket) {
+  Registry reg;
+  Histogram& h = reg.histogram("p3s.test.lat", {}, "1", "",
+                               Histogram::exponential_bounds(1.0, 2.0, 8));
+  for (int i = 0; i < 100; ++i) h.record(5.0);  // bucket (4, 8]
+  EXPECT_GT(h.percentile(0.5), 4.0);
+  EXPECT_LE(h.percentile(0.5), 8.0);
+  EXPECT_EQ(h.percentile(0.0), 4.0);  // bucket lower edge
+}
+
+TEST(ObsHistogram, OverflowBucketClampsToLastBound) {
+  Registry reg;
+  Histogram& h = reg.histogram("p3s.test.lat", {}, "1", "",
+                               Histogram::exponential_bounds(1.0, 2.0, 4));
+  h.record(1e9);  // far beyond the last bound (8)
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.percentile(0.5), 8.0);
+}
+
+TEST(ObsExport, GoldenTextOutput) {
+  Registry reg;
+  reg.counter("p3s.test.a_total").inc(3);
+  reg.gauge("p3s.test.g").set(-2);
+  reg.histogram("p3s.test.h", {}, "1", "", {1.0, 2.0, 4.0}).record(1.5);
+  const std::string expected =
+      "p3s.test.a_total  counter    3\n"
+      "p3s.test.g        gauge      -2\n"
+      "p3s.test.h        histogram  count=1 mean=1.5 p50=1.5 p95=1.95 "
+      "p99=1.99\n";
+  EXPECT_EQ(render_text(reg), expected);
+}
+
+TEST(ObsExport, GoldenJsonOutput) {
+  Registry reg;
+  reg.set_clock([] { return 42.0; });
+  reg.counter("p3s.test.a_total").inc(3);
+  reg.histogram("p3s.test.h", {}, "1", "", {1.0, 2.0, 4.0}).record(1.5);
+  const std::string expected =
+      "{\"p3s_metrics_version\":1,\"time\":42,\"enabled\":true,\"metrics\":["
+      "{\"name\":\"p3s.test.a_total\",\"type\":\"counter\",\"unit\":\"1\","
+      "\"help\":\"\",\"value\":3},"
+      "{\"name\":\"p3s.test.h\",\"type\":\"histogram\",\"unit\":\"1\","
+      "\"help\":\"\",\"count\":1,\"sum\":1.5,\"p50\":1.5,\"p95\":1.95,"
+      "\"p99\":1.99}"
+      "],\"spans\":[]}";
+  EXPECT_EQ(render_json(reg), expected);
+}
+
+TEST(ObsExport, LabeledMetricsRenderNameBraceForm) {
+  Registry reg;
+  reg.counter("p3s.test.req_total", {{"status", "ok"}}).inc(2);
+  reg.counter("p3s.test.req_total", {{"status", "notfound"}}).inc(1);
+  const std::string text = render_text(reg);
+  EXPECT_NE(text.find("p3s.test.req_total{status=ok}"), std::string::npos);
+  EXPECT_NE(text.find("p3s.test.req_total{status=notfound}"),
+            std::string::npos);
+}
+
+TEST(ObsHotPath, ZeroAllocationOnIncrementAndRecord) {
+  Registry reg;
+  Counter& c = reg.counter("p3s.test.hot_total");
+  Gauge& g = reg.gauge("p3s.test.hot_depth");
+  Histogram& h = reg.histogram("p3s.test.hot_lat");
+  c.inc();  // warm any lazy state
+  g.set(1);
+  h.record(0.5);
+  const std::size_t before = g_allocations.load();
+  for (int i = 0; i < 10000; ++i) {
+    c.inc(2);
+    g.add(1);
+    h.record(static_cast<double>(i) * 1e-6);
+  }
+  const std::size_t after = g_allocations.load();
+  EXPECT_EQ(before, after);
+}
+
+TEST(ObsHotPath, DisabledRegistryRecordsNothing) {
+  Registry reg;
+  Counter& c = reg.counter("p3s.test.off_total");
+  Histogram& h = reg.histogram("p3s.test.off_lat");
+  reg.set_enabled(false);
+  c.inc(5);
+  h.record(1.0);
+  {
+    ScopedTimer t(reg, h, "p3s.test.off_lat");
+  }
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(reg.snapshot().spans.empty());
+  reg.set_enabled(true);
+  c.inc(5);
+  EXPECT_EQ(c.value(), 5u);
+}
+
+TEST(ObsClock, ScopedTimerRidesInstalledClock) {
+  Registry reg;
+  double sim_now = 100.0;
+  Histogram& h = reg.histogram("p3s.test.span_lat");
+  {
+    ClockGuard guard(reg, [&sim_now] { return sim_now; });
+    EXPECT_DOUBLE_EQ(reg.now(), 100.0);
+    {
+      ScopedTimer t(reg, h, "p3s.test.span_lat");
+      sim_now += 2.5;  // simulated time advances while the span is open
+    }
+  }
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_DOUBLE_EQ(h.sum(), 2.5);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.spans.size(), 1u);
+  EXPECT_STREQ(snap.spans[0].name, "p3s.test.span_lat");
+  EXPECT_DOUBLE_EQ(snap.spans[0].start, 100.0);
+  EXPECT_DOUBLE_EQ(snap.spans[0].duration, 2.5);
+  // Guard destroyed: the registry is back on the wall clock, which is
+  // nowhere near the fake simulated instant.
+  EXPECT_NE(reg.now(), 102.5);
+}
+
+TEST(ObsClock, SpansOrderedMostRecentFirst) {
+  Registry reg;
+  reg.set_clock([] { return 1.0; });
+  reg.record_span("p3s.test.a", 1.0, 0.1);
+  reg.record_span("p3s.test.b", 2.0, 0.2);
+  reg.record_span("p3s.test.c", 3.0, 0.3);
+  const RegistrySnapshot snap = reg.snapshot();
+  ASSERT_EQ(snap.spans.size(), 3u);
+  EXPECT_STREQ(snap.spans[0].name, "p3s.test.c");
+  EXPECT_STREQ(snap.spans[2].name, "p3s.test.a");
+}
+
+TEST(ObsRegistry, ResetZeroesValuesKeepsRegistrations) {
+  Registry reg;
+  Counter& c = reg.counter("p3s.test.r_total");
+  Histogram& h = reg.histogram("p3s.test.r_lat");
+  c.inc(9);
+  h.record(1.0);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.count(), 0u);
+  // Still present in the snapshot (schema survives reset).
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_EQ(snap.metrics.size(), 2u);
+}
+
+TEST(ObsCatalog, EveryCatalogNameIsVocabularyCleanAndRegistered) {
+  Registry reg;
+  register_catalog(reg);
+  const RegistrySnapshot snap = reg.snapshot();
+  EXPECT_GE(snap.metrics.size(), 40u);
+  for (const auto& m : snap.metrics) {
+    const std::string base = m.name.substr(0, m.name.find('{'));
+    EXPECT_TRUE(Registry::valid_name(base)) << m.name;
+    EXPECT_FALSE(m.unit.empty()) << m.name;
+  }
+  // register_catalog is idempotent (get-or-create semantics).
+  register_catalog(reg);
+  EXPECT_EQ(reg.snapshot().metrics.size(), snap.metrics.size());
+}
+
+TEST(ObsCatalog, GlobalRegistryIsPreRegistered) {
+  const RegistrySnapshot snap = Registry::global().snapshot();
+  bool found = false;
+  for (const auto& m : snap.metrics) {
+    if (m.name == names::kPubPublishTotal) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace p3s::obs

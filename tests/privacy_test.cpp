@@ -9,6 +9,8 @@
 #include "abe/policy.hpp"
 #include "common/rng.hpp"
 #include "net/network.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
 #include "p3s/system.hpp"
 
@@ -190,6 +192,45 @@ TEST_F(PrivacyTest, CollusionOfHbcSubscribersIsUnionOfViews) {
   // Pool the two subscribers' deliveries: bob (non-matching, and lacking
   // org:us) contributes nothing; alice's view is unchanged by pooling.
   EXPECT_EQ(sub_->deliveries().size() + other_->deliveries().size(), 1u);
+}
+
+TEST_F(PrivacyTest, MetricsSnapshotsLeakNoSensitiveStrings) {
+  // The observability layer watches the whole data path; §6.1 therefore
+  // applies to its exports too. After a full flow, neither the text nor the
+  // JSON snapshot may contain interest values, metadata keys/values, the
+  // payload, policy attributes, pseudonyms, or endpoint names.
+  run_flow();
+  const std::string text = obs::render_text(obs::Registry::global(),
+                                            /*max_spans=*/64);
+  const std::string json = obs::render_json(obs::Registry::global());
+  const char* leaks[] = {
+      "finance", "default", "merger", "sector",   // interest/metadata words
+      kPayloadMarker,                             // payload bytes
+      "analyst", "org:us",                        // CP-ABE policy attributes
+      "alice",   "bob",     "acme",               // pseudonyms
+      "sub1",    "pub1",                          // endpoint names
+  };
+  for (const char* leak : leaks) {
+    EXPECT_EQ(text.find(leak), std::string::npos) << "text leaks: " << leak;
+    EXPECT_EQ(json.find(leak), std::string::npos) << "json leaks: " << leak;
+  }
+}
+
+TEST_F(PrivacyTest, MetricNamesStayInsideClosedVocabulary) {
+  // Every name exported after real traffic still passes the vocabulary
+  // check — i.e. no instrumentation path smuggled runtime data into a
+  // metric identity. (The registry throws on violation; this guards the
+  // exported view end-to-end.)
+  run_flow();
+  const obs::RegistrySnapshot snap = obs::Registry::global().snapshot();
+  ASSERT_FALSE(snap.metrics.empty());
+  for (const auto& m : snap.metrics) {
+    const std::string base = m.name.substr(0, m.name.find('{'));
+    EXPECT_TRUE(obs::Registry::valid_name(base)) << m.name;
+  }
+  for (const auto& s : snap.spans) {
+    EXPECT_TRUE(obs::Registry::valid_name(s.name)) << s.name;
+  }
 }
 
 TEST_F(PrivacyTest, MetadataBroadcastIsIdenticalForAllSubscribers) {

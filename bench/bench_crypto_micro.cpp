@@ -53,6 +53,29 @@ void BM_G1_ScalarMul(benchmark::State& state) {
 }
 BENCHMARK(BM_G1_ScalarMul);
 
+void BM_G1_ScalarMul_Reference(benchmark::State& state) {
+  TestRng rng(3);
+  const auto p = pp();
+  const auto pt = p->random_g1(rng);
+  const auto k = p->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pairing::point_mul(pt, k, p->q()));
+  }
+}
+BENCHMARK(BM_G1_ScalarMul_Reference);
+
+void BM_G1_ScalarMul_FixedBase(benchmark::State& state) {
+  TestRng rng(3);
+  const auto p = pp();
+  const pairing::FixedBaseTable table(p->mont_q(), p->random_g1(rng),
+                                      p->r().bit_length());
+  const auto k = p->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.mul(k));
+  }
+}
+BENCHMARK(BM_G1_ScalarMul_FixedBase);
+
 void BM_Pairing(benchmark::State& state) {
   TestRng rng(4);
   const auto p = pp();
@@ -63,6 +86,55 @@ void BM_Pairing(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Pairing);
+
+void BM_Pairing_Reference(benchmark::State& state) {
+  TestRng rng(4);
+  const auto p = pp();
+  const auto a = p->random_g1(rng);
+  const auto b = p->random_g1(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->pair_reference(a, b));
+  }
+}
+BENCHMARK(BM_Pairing_Reference);
+
+void BM_PairProduct(benchmark::State& state) {
+  TestRng rng(4);
+  const auto p = pp();
+  std::vector<pairing::PairTerm> terms;
+  for (std::int64_t i = 0; i < state.range(0); ++i) {
+    terms.push_back({p->random_g1(rng), p->random_g1(rng)});
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->pair_product(terms));
+  }
+  // Per-pairing cost: divide by the term count when comparing to BM_Pairing.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_PairProduct)->Arg(2)->Arg(8)->Arg(21)->Arg(80);
+
+void BM_GtPow(benchmark::State& state) {
+  TestRng rng(4);
+  const auto p = pp();
+  const auto a = p->random_gt(rng);
+  const auto e = p->random_scalar(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(p->gt_pow(a, e));
+  }
+}
+BENCHMARK(BM_GtPow);
+
+void BM_GtPow_FixedBase(benchmark::State& state) {
+  TestRng rng(4);
+  const auto p = pp();
+  const auto e = p->random_scalar(rng);
+  for (auto _ : state) {
+    // The GT generator hits the Pairing-owned e(g,g) table.
+    benchmark::DoNotOptimize(p->gt_pow(p->gt_generator(), e));
+  }
+}
+BENCHMARK(BM_GtPow_FixedBase);
 
 void BM_HashToG1(benchmark::State& state) {
   const auto p = pp();
@@ -111,6 +183,20 @@ void BM_Hve_Encrypt(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_Hve_Encrypt)->Arg(8)->Arg(20)->Arg(40);
+
+void BM_Hve_Encrypt_Precomp(benchmark::State& state) {
+  TestRng rng(7);
+  const std::size_t width = static_cast<std::size_t>(state.range(0));
+  const auto keys = pbe::hve_setup(pp(), width, rng);
+  const pbe::HvePrecomp pre = pbe::hve_precompute(keys.pk);
+  pbe::BitVector x(width);
+  for (auto& b : x) b = static_cast<std::uint8_t>(rng.uniform(2));
+  const auto m = keys.pk.pairing->random_gt(rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbe::hve_encrypt(keys.pk, x, m, rng, &pre));
+  }
+}
+BENCHMARK(BM_Hve_Encrypt_Precomp)->Arg(8)->Arg(20)->Arg(40);
 
 void BM_Hve_Match(benchmark::State& state) {
   TestRng rng(8);
@@ -179,6 +265,22 @@ void BM_Cpabe_Decrypt(benchmark::State& state) {
 }
 BENCHMARK(BM_Cpabe_Decrypt)->Arg(2)->Arg(5)->Arg(10);
 
+void BM_Cpabe_Decrypt_Reference(benchmark::State& state) {
+  TestRng rng(11);
+  const auto keys = abe::cpabe_setup(pp(), rng);
+  const int v = static_cast<int>(state.range(0));
+  const auto policy = and_policy(v);
+  std::set<std::string> attrs;
+  for (int i = 0; i < v; ++i) attrs.insert("attr" + std::to_string(i));
+  const auto sk = abe::cpabe_keygen(keys, attrs, rng);
+  const auto m = keys.pk.pairing->random_gt(rng);
+  const auto ct = abe::cpabe_encrypt(keys.pk, m, policy, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(abe::cpabe_decrypt_reference(keys.pk, sk, ct));
+  }
+}
+BENCHMARK(BM_Cpabe_Decrypt_Reference)->Arg(10);
+
 void BM_Cpabe_KeyGen(benchmark::State& state) {
   TestRng rng(12);
   const auto keys = abe::cpabe_setup(pp(), rng);
@@ -192,12 +294,11 @@ BENCHMARK(BM_Cpabe_KeyGen);
 
 }  // namespace
 
-// Expanded BENCHMARK_MAIN() with the standard metrics epilogue. The crypto
-// primitives themselves carry no instrumentation (the obs layer instruments
-// the middleware above them), so the registry — enabled or disabled — adds
-// nothing to the hot loops measured here; the epilogue only reports
-// whatever middleware metrics the process touched (none, for this binary,
-// beyond the registered schema).
+// Expanded BENCHMARK_MAIN() with the standard metrics epilogue. The pairing
+// stack now carries whole-primitive instrumentation (the p3s.crypto.* group),
+// so the epilogue's JSON snapshot doubles as a latency record for the fast
+// paths exercised above — scripts/perf_smoke.sh diffs two of these snapshots
+// to flag regressions.
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Perf smoke: diff two bench metrics snapshots (the JSON epilogue files the
+# bench binaries write, e.g. BENCH_crypto_micro.json) and fail when any
+# p3s.crypto.* latency histogram's p50 regressed by more than the threshold.
+#
+#   sh scripts/perf_smoke.sh OLD.json NEW.json [threshold_pct]
+#
+# Typical use against the committed pre-change snapshot:
+#   ./build/bench/bench_crypto_micro --benchmark_min_time=0.2
+#   sh scripts/perf_smoke.sh bench/baselines/BENCH_crypto_micro.json \
+#       BENCH_crypto_micro.json
+#
+# Only metrics present in BOTH snapshots with a nonzero sample count are
+# compared; a metric new to this build is reported and skipped, so adding
+# instrumentation never fails the smoke. Exit codes: 0 ok, 1 regression,
+# 2 usage error.
+set -eu
+
+if [ $# -lt 2 ] || [ $# -gt 3 ]; then
+  echo "usage: sh scripts/perf_smoke.sh OLD.json NEW.json [threshold_pct]" >&2
+  exit 2
+fi
+old="$1"
+new="$2"
+threshold="${3:-20}"
+for f in "$old" "$new"; do
+  if [ ! -f "$f" ]; then
+    echo "perf_smoke: no such file: $f" >&2
+    exit 2
+  fi
+done
+
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+
+# Emit "name p50" for every populated p3s.crypto.* latency histogram. The
+# snapshot is a single JSON line; splitting on '{' puts one metric object
+# per awk record, which POSIX match()/substr() can then field out.
+extract() {
+  tr '{' '\n' < "$1" | awk '
+    /"name":"p3s\.crypto\.[a-z0-9_.]*_seconds"/ && /"type":"histogram"/ {
+      name = ""; count = 0; p50 = ""
+      if (match($0, /"name":"[^"]*"/))
+        name = substr($0, RSTART + 8, RLENGTH - 9)
+      if (match($0, /"count":[0-9]+/))
+        count = substr($0, RSTART + 8, RLENGTH - 8) + 0
+      if (match($0, /"p50":[0-9.eE+-]+/))
+        p50 = substr($0, RSTART + 6, RLENGTH - 6)
+      if (name != "" && count > 0 && p50 != "") print name, p50
+    }'
+}
+
+extract "$old" > "$tmpdir/old"
+extract "$new" > "$tmpdir/new"
+
+if [ ! -s "$tmpdir/new" ]; then
+  echo "perf_smoke: no populated p3s.crypto.* histograms in $new" >&2
+  echo "perf_smoke: (did the bench run with P3S_BENCH_JSON=0?)" >&2
+  exit 2
+fi
+
+# (FILENAME test, not NR==FNR: the old extract may legitimately be empty
+# when the baseline predates the crypto instrumentation.)
+awk -v threshold="$threshold" -v oldfile="$tmpdir/old" '
+  FILENAME == oldfile { old[$1] = $2; next }
+  {
+    if (!($1 in old)) {
+      printf "SKIP  %-40s new metric, no baseline\n", $1
+      next
+    }
+    o = old[$1] + 0
+    n = $2 + 0
+    if (o <= 0) {
+      printf "SKIP  %-40s empty baseline histogram\n", $1
+      next
+    }
+    pct = (n - o) / o * 100
+    if (pct > threshold) {
+      printf "FAIL  %-40s p50 %.4gs -> %.4gs (%+.1f%% > %s%%)\n", \
+          $1, o, n, pct, threshold
+      bad = 1
+    } else {
+      printf "ok    %-40s p50 %.4gs -> %.4gs (%+.1f%%)\n", $1, o, n, pct
+    }
+  }
+  END { exit bad ? 1 : 0 }
+' "$tmpdir/old" "$tmpdir/new"

@@ -205,6 +205,53 @@ std::optional<Fq2> decrypt_node(const pairing::Pairing& p,
   }
   return acc;
 }
+
+// One (leaf, exponent) term of the flattened decryption: ciphertext leaf
+// `index` contributes e(D_j,C_y)^coeff · e(D'_j,C'_y)^{-coeff}, where coeff
+// is the product of the Lagrange coefficients on the path to the root.
+struct LeafTerm {
+  std::size_t index;
+  BigInt coeff;
+};
+
+// Flattened twin of decrypt_node: instead of evaluating pairings per leaf
+// and combining in GT, collect which leaves the recursive evaluation would
+// use and with what accumulated Lagrange exponent. Child selection (first k
+// satisfied, in order) matches decrypt_node exactly, so
+// ∏ e(D_j,C_y)^{c_j}·e(D'_j,C'_y)^{-c_j} over the result equals its output.
+std::optional<std::vector<LeafTerm>> select_node(const pairing::Pairing& p,
+                                                 const CpabeSecretKey& sk,
+                                                 const CpabeCiphertext& ct,
+                                                 const PolicyNode& node,
+                                                 std::size_t& leaf_index) {
+  if (node.is_leaf()) {
+    const std::size_t idx = leaf_index++;
+    const CpabeCiphertext::Leaf& leaf = ct.leaves.at(idx);
+    if (sk.components.find(leaf.attribute) == sk.components.end()) {
+      return std::nullopt;
+    }
+    return std::vector<LeafTerm>{{idx, BigInt(1)}};
+  }
+
+  std::vector<std::uint64_t> indices;
+  std::vector<std::vector<LeafTerm>> selected;
+  for (std::size_t i = 0; i < node.children().size(); ++i) {
+    auto sub = select_node(p, sk, ct, node.children()[i], leaf_index);
+    if (sub.has_value() && indices.size() < node.k()) {
+      indices.push_back(i + 1);
+      selected.push_back(std::move(*sub));
+    }
+  }
+  if (indices.size() < node.k()) return std::nullopt;
+  std::vector<LeafTerm> out;
+  for (std::size_t j = 0; j < indices.size(); ++j) {
+    const BigInt coeff = lagrange_at_zero(indices, indices[j], p.r());
+    for (LeafTerm& term : selected[j]) {
+      out.push_back({term.index, mod_mul(term.coeff, coeff, p.r())});
+    }
+  }
+  return out;
+}
 }  // namespace
 
 CpabeCiphertext cpabe_encrypt(const CpabePublicKey& pk, const Fq2& message,
@@ -232,6 +279,34 @@ CpabeCiphertext cpabe_encrypt(const CpabePublicKey& pk, const Fq2& message,
 std::optional<Fq2> cpabe_decrypt(const CpabePublicKey& pk,
                                  const CpabeSecretKey& sk,
                                  const CpabeCiphertext& ct) {
+  const pairing::Pairing& p = *pk.pairing;
+  if (ct.leaves.size() != ct.policy.leaf_count()) return std::nullopt;
+  if (!ct.policy.satisfied_by(sk.attributes())) return std::nullopt;
+
+  std::size_t leaf_index = 0;
+  const auto selection = select_node(p, sk, ct, ct.policy, leaf_index);
+  if (!selection.has_value()) return std::nullopt;
+
+  // Fold the whole tree evaluation plus the final e(C,D) division into ONE
+  // multi-pairing: e(P,Q)^λ = e(λP,Q) pulls the Lagrange exponents into G1
+  // (scalar mults are ~7× cheaper than pairings here) and e(X,Y)^{-1} =
+  // e(-X,Y) turns divisions into extra product terms.
+  std::vector<pairing::PairTerm> terms;
+  terms.reserve(2 * selection->size() + 1);
+  for (const LeafTerm& term : *selection) {
+    const CpabeCiphertext::Leaf& leaf = ct.leaves[term.index];
+    const CpabeKeyComponent& comp = sk.components.at(leaf.attribute);
+    terms.push_back({p.mul(comp.d, term.coeff), leaf.cy});
+    terms.push_back({p.neg(p.mul(comp.d_prime, term.coeff)), leaf.cy_prime});
+  }
+  terms.push_back({p.neg(ct.c), sk.d});
+  // M = C̃ · A / e(C, D);  e(C,D) = e(g,g)^{s(α+r)}, A = e(g,g)^{rs}.
+  return p.gt_mul(ct.c_tilde, p.pair_product(terms));
+}
+
+std::optional<Fq2> cpabe_decrypt_reference(const CpabePublicKey& pk,
+                                           const CpabeSecretKey& sk,
+                                           const CpabeCiphertext& ct) {
   const pairing::Pairing& p = *pk.pairing;
   if (ct.leaves.size() != ct.policy.leaf_count()) return std::nullopt;
   if (!ct.policy.satisfied_by(sk.attributes())) return std::nullopt;

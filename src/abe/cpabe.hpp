@@ -95,10 +95,19 @@ CpabeSecretKey cpabe_keygen(const CpabeKeys& keys,
 CpabeCiphertext cpabe_encrypt(const CpabePublicKey& pk, const Fq2& message,
                               const PolicyNode& policy, Rng& rng);
 
-/// Decrypt; nullopt when sk's attributes do not satisfy the policy.
+/// Decrypt; nullopt when sk's attributes do not satisfy the policy. The
+/// policy-tree evaluation and the final e(C,D) division are folded into a
+/// single multi-pairing product (one Miller loop pass, one final
+/// exponentiation) via e(P,Q)^λ = e(λP,Q) and e(X,Y)^{-1} = e(-X,Y).
 std::optional<Fq2> cpabe_decrypt(const CpabePublicKey& pk,
                                  const CpabeSecretKey& sk,
                                  const CpabeCiphertext& ct);
+
+/// The original recursive per-leaf-pairing decryption (BSW §4.2 verbatim).
+/// Correctness pin for cpabe_decrypt equivalence tests; not the hot path.
+std::optional<Fq2> cpabe_decrypt_reference(const CpabePublicKey& pk,
+                                           const CpabeSecretKey& sk,
+                                           const CpabeCiphertext& ct);
 
 // --- Hybrid layer (KEM-DEM): what P3S actually sends --------------------------
 

@@ -74,6 +74,100 @@ std::vector<u64> Montgomery::mont_mul_limbs(const std::vector<u64>& a,
   return t;
 }
 
+namespace {
+// True iff a >= b over k limbs (little-endian).
+bool ge_limbs(const u64* a, const u64* b, std::size_t k) {
+  for (std::size_t i = k; i-- > 0;) {
+    if (a[i] != b[i]) return a[i] > b[i];
+  }
+  return true;
+}
+
+// out = a - b over k limbs; returns the final borrow.
+u64 sub_borrow(const u64* a, const u64* b, u64* out, std::size_t k) {
+  u64 borrow = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 bi = b[i] + borrow;
+    const u64 wrapped = (borrow != 0 && bi == 0) ? 1 : 0;  // b[i]+borrow overflowed
+    const u64 r = a[i] - bi;
+    borrow = wrapped | (r > a[i] ? 1 : 0);
+    out[i] = r;
+  }
+  return borrow;
+}
+}  // namespace
+
+void Montgomery::mul_limbs(const u64* a, const u64* b, u64* out) const {
+  // CIOS as in mont_mul_limbs, but on fixed stack buffers: zero heap
+  // traffic, which dominates at pairing sizes (3–8 limbs).
+  const std::size_t k = n_limbs_.size();
+  u64 t[kMaxFixedLimbs + 2] = {0};
+  for (std::size_t i = 0; i < k; ++i) {
+    const u128 ai = a[i];
+    u64 carry = 0;
+    for (std::size_t j = 0; j < k; ++j) {
+      const u128 cur = static_cast<u128>(t[j]) + ai * b[j] + carry;
+      t[j] = static_cast<u64>(cur);
+      carry = static_cast<u64>(cur >> 64);
+    }
+    u128 cur = static_cast<u128>(t[k]) + carry;
+    t[k] = static_cast<u64>(cur);
+    t[k + 1] = static_cast<u64>(cur >> 64);
+
+    const u64 m = t[0] * n0_inv_;
+    u128 acc = static_cast<u128>(t[0]) + static_cast<u128>(m) * n_limbs_[0];
+    carry = static_cast<u64>(acc >> 64);
+    for (std::size_t j = 1; j < k; ++j) {
+      acc = static_cast<u128>(t[j]) + static_cast<u128>(m) * n_limbs_[j] + carry;
+      t[j - 1] = static_cast<u64>(acc);
+      carry = static_cast<u64>(acc >> 64);
+    }
+    acc = static_cast<u128>(t[k]) + carry;
+    t[k - 1] = static_cast<u64>(acc);
+    t[k] = t[k + 1] + static_cast<u64>(acc >> 64);
+    t[k + 1] = 0;
+  }
+  // Result < 2n with a possible carry limb in t[k]; one conditional
+  // subtraction normalizes into [0, n).
+  if (t[k] != 0 || ge_limbs(t, n_limbs_.data(), k)) {
+    sub_borrow(t, n_limbs_.data(), t, k);
+  }
+  for (std::size_t i = 0; i < k; ++i) out[i] = t[i];
+}
+
+void Montgomery::add_limbs(const u64* a, const u64* b, u64* out) const {
+  const std::size_t k = n_limbs_.size();
+  u64 t[kMaxFixedLimbs];
+  u64 carry = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    const u64 s1 = a[i] + b[i];
+    const u64 c1 = s1 < a[i] ? 1 : 0;
+    const u64 s2 = s1 + carry;
+    carry = c1 | (s2 < s1 ? 1 : 0);
+    t[i] = s2;
+  }
+  if (carry != 0 || ge_limbs(t, n_limbs_.data(), k)) {
+    sub_borrow(t, n_limbs_.data(), t, k);
+  }
+  for (std::size_t i = 0; i < k; ++i) out[i] = t[i];
+}
+
+void Montgomery::sub_limbs(const u64* a, const u64* b, u64* out) const {
+  const std::size_t k = n_limbs_.size();
+  u64 t[kMaxFixedLimbs];
+  if (sub_borrow(a, b, t, k) != 0) {
+    u64 carry = 0;
+    for (std::size_t i = 0; i < k; ++i) {
+      const u64 s1 = t[i] + n_limbs_[i];
+      const u64 c1 = s1 < t[i] ? 1 : 0;
+      const u64 s2 = s1 + carry;
+      carry = c1 | (s2 < s1 ? 1 : 0);
+      t[i] = s2;
+    }
+  }
+  for (std::size_t i = 0; i < k; ++i) out[i] = t[i];
+}
+
 BigInt Montgomery::mul(const BigInt& a_mont, const BigInt& b_mont) const {
   BigInt result =
       BigInt::from_limbs_le(mont_mul_limbs(a_mont.limbs(), b_mont.limbs()));

@@ -7,6 +7,7 @@
 // form" are a·R mod n; mul() computes a·b·R⁻¹ mod n.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -16,6 +17,10 @@ namespace p3s::math {
 
 class Montgomery {
  public:
+  /// Widest modulus (in 64-bit limbs) the allocation-free fixed-width limb
+  /// API below supports: 512 bits covers the paper-scale pairing field.
+  static constexpr std::size_t kMaxFixedLimbs = 8;
+
   /// Throws std::invalid_argument unless modulus is odd and > 1.
   explicit Montgomery(const BigInt& modulus);
 
@@ -32,6 +37,24 @@ class Montgomery {
   /// base^exp mod n with plain-form input and output (4-bit window,
   /// Montgomery internally). exp >= 0.
   BigInt pow(const BigInt& base, const BigInt& exp) const;
+
+  // --- Fixed-width limb API (pairing hot path) -----------------------------
+  // Operates on raw little-endian limb buffers of exactly limb_count()
+  // words, all values in [0, n) and (for mul) in Montgomery form. No heap
+  // allocation; outputs may alias inputs. Only valid when fits_fixed().
+
+  std::size_t limb_count() const { return n_limbs_.size(); }
+  bool fits_fixed() const { return n_limbs_.size() <= kMaxFixedLimbs; }
+
+  /// CIOS product a·b·R⁻¹ mod n into out (all limb_count() words).
+  void mul_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
+  /// (a + b) mod n into out.
+  void add_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
+  /// (a - b) mod n into out.
+  void sub_limbs(const std::uint64_t* a, const std::uint64_t* b,
+                 std::uint64_t* out) const;
 
  private:
   std::vector<std::uint64_t> mont_mul_limbs(

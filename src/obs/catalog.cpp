@@ -92,6 +92,24 @@ void register_catalog(Registry& r) {
   r.gauge(kSimQueueDepth, {}, "1", "pending events in the engine queue");
   r.counter(kSimFramesTotal, {}, "1", "frames sent through SimNetwork");
   r.histogram(kSimFrameBytes, {}, "bytes", "simulated wire frame size", sz);
+
+  // Pairing stack.
+  r.histogram(kCryptoPairSeconds, {}, "seconds", "single pairing e(P,Q)",
+              lat);
+  r.histogram(kCryptoPairProductSeconds, {}, "seconds",
+              "multi-pairing product (one shared final exponentiation)", lat);
+  r.histogram(kCryptoPairProductPairs, {}, "1",
+              "terms per pair_product call",
+              Histogram::exponential_bounds(1.0, 2.0, 12));
+  r.histogram(kCryptoG1MulSeconds, {}, "seconds",
+              "G1 scalar multiplication (wNAF or fixed-base table)", lat);
+  r.counter(kCryptoG1FixedBaseTotal, {}, "1",
+            "G1 multiplications served by the generator table");
+  r.histogram(kCryptoGtPowSeconds, {}, "seconds", "GT exponentiation", lat);
+  r.counter(kCryptoGtFixedBaseTotal, {}, "1",
+            "GT exponentiations served by the e(g,g) table");
+  r.histogram(kCryptoHashToG1Seconds, {}, "seconds",
+              "hash-to-G1 (try-and-increment + cofactor clearing)", lat);
 }
 
 }  // namespace p3s::obs

@@ -12,6 +12,7 @@
 //   ts   PBE token server        ara  registration authority
 //   anon anonymizing relay       chan secure channel (net/secure)
 //   sim  discrete-event engine + simulated network
+//   crypto  pairing-stack primitives (Miller loops, scalar mult, GT exp)
 #pragma once
 
 namespace p3s::obs {
@@ -93,6 +94,21 @@ inline constexpr char kSimEventsTotal[] = "p3s.sim.events_total";
 inline constexpr char kSimQueueDepth[] = "p3s.sim.queue_depth";
 inline constexpr char kSimFramesTotal[] = "p3s.sim.frames_total";
 inline constexpr char kSimFrameBytes[] = "p3s.sim.frame_bytes";
+
+// --- pairing stack (fast-path primitives; DESIGN.md "fast path") -----------
+inline constexpr char kCryptoPairSeconds[] = "p3s.crypto.pair_seconds";
+inline constexpr char kCryptoPairProductSeconds[] =
+    "p3s.crypto.pair_product_seconds";
+inline constexpr char kCryptoPairProductPairs[] =
+    "p3s.crypto.pair_product_pairs";
+inline constexpr char kCryptoG1MulSeconds[] = "p3s.crypto.g1_mul_seconds";
+inline constexpr char kCryptoG1FixedBaseTotal[] =
+    "p3s.crypto.g1_fixed_base_total";
+inline constexpr char kCryptoGtPowSeconds[] = "p3s.crypto.gt_pow_seconds";
+inline constexpr char kCryptoGtFixedBaseTotal[] =
+    "p3s.crypto.gt_fixed_base_total";
+inline constexpr char kCryptoHashToG1Seconds[] =
+    "p3s.crypto.hash_to_g1_seconds";
 
 }  // namespace names
 

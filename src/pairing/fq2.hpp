@@ -4,6 +4,7 @@
 
 #include "math/bigint.hpp"
 #include "math/modular.hpp"
+#include "math/montgomery.hpp"
 
 namespace p3s::pairing {
 
@@ -32,7 +33,12 @@ Fq2 fq2_sqr(const Fq2& x, const BigInt& q);
 Fq2 fq2_conj(const Fq2& x, const BigInt& q);
 /// Multiplicative inverse; throws std::domain_error on zero.
 Fq2 fq2_inv(const Fq2& x, const BigInt& q);
-/// x^e with e >= 0 (square-and-multiply).
+/// x^e with e >= 0. Routes through the Montgomery/CIOS window
+/// exponentiation for odd q at pairing sizes; plain square-and-multiply
+/// otherwise.
 Fq2 fq2_pow(const Fq2& x, const BigInt& e, const BigInt& q);
+/// x^e with e >= 0 on a prebuilt Montgomery context for q (no per-call
+/// context setup; allocation-free when mq.fits_fixed()).
+Fq2 fq2_pow(const Fq2& x, const BigInt& e, const math::Montgomery& mq);
 
 }  // namespace p3s::pairing

@@ -7,6 +7,8 @@
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "math/prime.hpp"
+#include "obs/catalog.hpp"
+#include "pairing/fq_mont.hpp"
 
 namespace p3s::pairing {
 
@@ -92,29 +94,98 @@ Pairing::Pairing(Params params)
   }
   final_exp_ = (params_.q * params_.q - BigInt{1}) / params_.r;
   q_bytes_ = (params_.q.bit_length() + 7) / 8;
+
+  auto& reg = obs::Registry::global();
+  using namespace obs::names;  // NOLINT
+  pair_hist_ = &reg.histogram(kCryptoPairSeconds);
+  pair_product_hist_ = &reg.histogram(kCryptoPairProductSeconds);
+  pair_product_pairs_ = &reg.histogram(kCryptoPairProductPairs);
+  g1_mul_hist_ = &reg.histogram(kCryptoG1MulSeconds);
+  g1_fixed_base_total_ = &reg.counter(kCryptoG1FixedBaseTotal);
+  gt_pow_hist_ = &reg.histogram(kCryptoGtPowSeconds);
+  gt_fixed_base_total_ = &reg.counter(kCryptoGtFixedBaseTotal);
+  hash_to_g1_hist_ = &reg.histogram(kCryptoHashToG1Seconds);
+
   e_gg_ = pair(params_.g, params_.g);
   if (fq2_is_one(e_gg_)) {
     throw std::invalid_argument("Pairing: degenerate generator pairing");
   }
+  // Fixed-base tables for the two bases every scheme reuses; scalars are
+  // always reduced mod r first, so r's width bounds the windows.
+  const std::size_t r_bits = params_.r.bit_length();
+  g_table_ = std::make_unique<FixedBaseTable>(montq_, params_.g, r_bits);
+  egg_table_ = std::make_unique<GtFixedBase>(montq_, e_gg_, r_bits);
 }
 
 namespace {
 std::once_flag g_test_once, g_paper_once;
 std::shared_ptr<const Pairing> g_test, g_paper;
+
+// The deterministic parameter sets baked in as constants. These are exactly
+// what generate_params() used to produce from the fixed seeds
+// (0x703570357035 for test, 0x504243204121 for paper); baking them skips the
+// Miller–Rabin prime SEARCH in every process while load_baked() still
+// VALIDATES primality and group structure, so a corrupted constant cannot
+// slip through.
+struct BakedParams {
+  const char* q;
+  const char* r;
+  const char* h;
+  const char* gx;
+  const char* gy;
+};
+
+constexpr BakedParams kTestBaked{
+    "9ba9ad5de65999b599ebda719d26dfdd544e5deb",
+    "db7a0f11c95b1c8fe86d",
+    "b5911355ffc0b8e17a1c",
+    "942841afc1a4c1e81e50cead7eb5cbde99106f0c",
+    "16eeb3266036d637bd5265b1801b873f57d4a759",
+};
+
+constexpr BakedParams kPaperBaked{
+    "a441dc845fe1b04433217b626a6ae249e277477244a4f8eb1aac259b7461fdca"
+    "01aee47bc0476aa25b1fc4bfad77f50f6f3514cedff74b2ec5d26f88e1365727",
+    "b2ee4b7d8783337ee16a28cd87ffae5845fc8151",
+    "eb019811af0bd7d01600ec3d58d2cfe34a797218ce8f9182c84aa46802b122eb"
+    "811f9c41b8542d97429b5aa8",
+    "9498327f950568bbc68e6db1415f8397df552aad6f3a77d26b4fc30e915a6597"
+    "6297784871070ca27e154cdc999dd308299db8a50f2b39a016446aa4bd3db26f",
+    "3dae87b59e739113a7656147bc4c319627e75a9ec404292d7ee98e255e59ead3"
+    "c9e0c49eeb7eb93f909f958b6d7c23a90a8679d5475873680eb083901ab60cda",
+};
+
+Params load_baked(const BakedParams& b) {
+  Params p;
+  p.q = BigInt::from_hex(b.q);
+  p.r = BigInt::from_hex(b.r);
+  p.h = BigInt::from_hex(b.h);
+  p.g = Point{BigInt::from_hex(b.gx), BigInt::from_hex(b.gy), false};
+  // Validate the constants rather than trusting the source text. Structure
+  // (q = h·r − 1, q ≡ 3 mod 4, g on curve, non-degenerate e(g,g)) is
+  // re-checked by the Pairing constructor; primality and the generator's
+  // order need explicit checks here.
+  TestRng rng(0xba4ed'cafeull);
+  if (!is_probable_prime(p.q, rng, 8) || !is_probable_prime(p.r, rng, 8)) {
+    throw std::logic_error("baked pairing params: composite q or r");
+  }
+  if (!point_mul(p.g, p.r, p.q).infinity) {
+    throw std::logic_error("baked pairing params: generator order != r");
+  }
+  return p;
+}
 }  // namespace
 
 std::shared_ptr<const Pairing> Pairing::test_pairing() {
   std::call_once(g_test_once, [] {
-    TestRng rng(0x7035'7035'7035ull);
-    g_test = std::make_shared<const Pairing>(generate_params(rng, 80, 160));
+    g_test = std::make_shared<const Pairing>(load_baked(kTestBaked));
   });
   return g_test;
 }
 
 std::shared_ptr<const Pairing> Pairing::paper_pairing() {
   std::call_once(g_paper_once, [] {
-    TestRng rng(0x5042'4320'4121ull);  // deterministic: reproducible benches
-    g_paper = std::make_shared<const Pairing>(generate_params(rng, 160, 512));
+    g_paper = std::make_shared<const Pairing>(load_baked(kPaperBaked));
   });
   return g_paper;
 }
@@ -128,7 +199,13 @@ BigInt Pairing::random_nonzero_scalar(Rng& rng) const {
 }
 
 Point Pairing::mul(const Point& p, const BigInt& k) const {
-  return point_mul(p, mod(k, params_.r), params_.q);
+  obs::ScopedTimer timer(obs::Registry::global(), *g1_mul_hist_);
+  const BigInt kr = mod(k, params_.r);
+  if (g_table_ && !p.infinity && p == params_.g) {
+    g1_fixed_base_total_->inc();
+    return g_table_->mul(kr);
+  }
+  return point_mul_mont(p, kr, montq_);
 }
 
 Point Pairing::add(const Point& a, const Point& b) const {
@@ -142,6 +219,10 @@ Point Pairing::random_g1(Rng& rng) const {
 }
 
 Point Pairing::hash_to_g1(BytesView data) const {
+  // Every step below is deterministic in `data` (HKDF stream, fixed root
+  // choice, one shared cofactor-multiplication path), so the same input
+  // maps to the same point in every process.
+  obs::ScopedTimer timer(obs::Registry::global(), *hash_to_g1_hist_);
   const Bytes prk = crypto::hkdf_extract(str_to_bytes("p3s-hash-to-g1"), data);
   for (std::uint32_t ctr = 0;; ++ctr) {
     Writer info;
@@ -150,15 +231,15 @@ Point Pairing::hash_to_g1(BytesView data) const {
     const BigInt x = mod(BigInt::from_bytes(xm), params_.q);
     const BigInt t =
         mod_add(mod_mul(mod_mul(x, x, params_.q), x, params_.q), x, params_.q);
-    if (!math::is_quadratic_residue(t, params_.q)) continue;
-    BigInt y = mod_sqrt_3mod4(t, params_.q);
+    if (!math::is_quadratic_residue(t, montq_)) continue;
+    BigInt y = mod_sqrt_3mod4(t, montq_);
     // Use one more derived bit to pick the root deterministically.
     Writer winfo;
     winfo.u32(ctr);
     winfo.u8(0xff);
     const Bytes sign = crypto::hkdf_expand(prk, winfo.data(), 1);
     if ((sign[0] & 1) != 0) y = mod_sub(BigInt{}, y, params_.q);
-    const Point g = point_mul(Point{x, y, false}, params_.h, params_.q);
+    const Point g = point_mul_mont(Point{x, y, false}, params_.h, montq_);
     if (!g.infinity) return g;
   }
 }
@@ -228,7 +309,7 @@ Fq2 fq2_pow_m(const Fq2& x, const BigInt& e, const Fq2& one_m,
 }
 }  // namespace
 
-Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
+Fq2 Pairing::pair_reference(const Point& p, const Point& qpt) const {
   if (p.infinity || qpt.infinity) return fq2_one();
   const BigInt& q = params_.q;
   const BigInt& r = params_.r;
@@ -346,12 +427,270 @@ Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
   return Fq2{mq.from_mont(result_m.a), mq.from_mont(result_m.b)};
 }
 
+namespace {
+using fqm::Fe;
+using fqm::Fe2;
+
+// Per-term Miller-loop state on the allocation-free fixed-limb field
+// representation: affine P and Q plus the running Jacobian V.
+struct MillerTermM {
+  Fe px, py, qx, qy;
+  Fe vx, vy, vz;  // vz == 0 → V = O
+};
+
+// Interleaved Miller loops computing ∏ f_{r,P_i}(φ(Q_i)): one shared F_q²
+// accumulator (a single squaring per bit regardless of the term count)
+// followed by ONE final exponentiation f^((q²−1)/r) = (conj(f)·f⁻¹)^h.
+// The line/double/add formulas are the fixed-limb port of pair_reference;
+// see the comments there for the derivations.
+Fq2 miller_product(const math::Montgomery& mq, const Params& params,
+                   std::vector<MillerTermM>& terms) {
+  const std::size_t k = mq.limb_count();
+  const BigInt& r = params.r;
+  const Fe one_m = fqm::fe_from(mq, BigInt{1});
+  Fe2 f = fqm::fe2_one(mq);
+  Fe2 tmp;
+
+  for (auto& t : terms) {
+    t.vx = t.px;
+    t.vy = t.py;
+    t.vz = one_m;
+  }
+
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    fqm::fe2_sqr(mq, f, f);
+    for (auto& t : terms) {
+      if (fqm::fe_is_zero(t.vz, k)) continue;
+      // Tangent line at V scaled by 2YZ³, then V ← 2V (a = 1).
+      Fe x2, z2, z4, m, y2, two_y2, yz, two_yz3, s, xp, y4, yp, u;
+      fqm::fe_sqr(mq, t.vx, x2);
+      fqm::fe_sqr(mq, t.vz, z2);
+      fqm::fe_sqr(mq, z2, z4);
+      fqm::fe_add(mq, x2, x2, m);
+      fqm::fe_add(mq, m, x2, m);
+      fqm::fe_add(mq, m, z4, m);  // M = 3X² + Z⁴
+      fqm::fe_sqr(mq, t.vy, y2);
+      fqm::fe_add(mq, y2, y2, two_y2);
+      fqm::fe_mul(mq, t.vy, t.vz, yz);
+      fqm::fe_add(mq, yz, yz, two_yz3);
+      fqm::fe_mul(mq, two_yz3, z2, two_yz3);  // 2YZ³
+      Fe2 line;
+      fqm::fe_mul(mq, m, z2, u);
+      fqm::fe_mul(mq, u, t.qx, u);  // M·Z²·xQ
+      fqm::fe_mul(mq, m, t.vx, line.a);
+      fqm::fe_add(mq, line.a, u, line.a);
+      fqm::fe_sub(mq, line.a, two_y2, line.a);
+      fqm::fe_mul(mq, two_yz3, t.qy, line.b);
+      fqm::fe2_mul(mq, f, line, tmp);
+      f = tmp;
+
+      fqm::fe_mul(mq, t.vx, y2, s);
+      fqm::fe_dbl(mq, s, s);
+      fqm::fe_dbl(mq, s, s);  // S = 4XY²
+      fqm::fe_sqr(mq, m, xp);
+      fqm::fe_add(mq, s, s, u);
+      fqm::fe_sub(mq, xp, u, xp);  // X' = M² − 2S
+      fqm::fe_sqr(mq, y2, y4);
+      fqm::fe_dbl(mq, y4, y4);
+      fqm::fe_dbl(mq, y4, y4);
+      fqm::fe_dbl(mq, y4, y4);  // 8Y⁴
+      fqm::fe_sub(mq, s, xp, u);
+      fqm::fe_mul(mq, m, u, yp);
+      fqm::fe_sub(mq, yp, y4, yp);  // Y' = M(S − X') − 8Y⁴
+      t.vx = xp;
+      t.vy = yp;
+      fqm::fe_add(mq, yz, yz, t.vz);  // Z' = 2YZ (0 iff Y was 0 → V = O)
+    }
+
+    if (!r.bit(i)) continue;
+    for (auto& t : terms) {
+      if (fqm::fe_is_zero(t.vz, k)) {
+        t.vx = t.px;
+        t.vy = t.py;
+        t.vz = one_m;
+        continue;
+      }
+      // V + P (mixed addition) with the V == ±P corner cases.
+      Fe z2, u2, s2, hh, rr, u;
+      fqm::fe_sqr(mq, t.vz, z2);
+      fqm::fe_mul(mq, t.px, z2, u2);
+      fqm::fe_mul(mq, z2, t.vz, s2);
+      fqm::fe_mul(mq, t.py, s2, s2);
+      fqm::fe_sub(mq, u2, t.vx, hh);
+      fqm::fe_sub(mq, s2, t.vy, rr);
+      if (fqm::fe_is_zero(hh, k)) {
+        if (fqm::fe_is_zero(rr, k)) {
+          // V == P: tangent at the affine point, scaled by its denominator.
+          Fe x2p, num, den;
+          fqm::fe_sqr(mq, t.px, x2p);
+          fqm::fe_add(mq, x2p, x2p, num);
+          fqm::fe_add(mq, num, x2p, num);
+          fqm::fe_add(mq, num, one_m, num);  // 3xP² + 1
+          fqm::fe_add(mq, t.py, t.py, den);  // 2yP
+          Fe2 line;
+          fqm::fe_add(mq, t.qx, t.px, u);
+          fqm::fe_mul(mq, num, u, line.a);
+          fqm::fe_mul(mq, den, t.py, u);
+          fqm::fe_sub(mq, line.a, u, line.a);
+          fqm::fe_mul(mq, den, t.qy, line.b);
+          fqm::fe2_mul(mq, f, line, tmp);
+          f = tmp;
+          // V ← 2P via the plain-domain path (cold corner case).
+          const Point pa{fqm::fe_to(mq, t.px), fqm::fe_to(mq, t.py), false};
+          const Point dbl = point_double(pa, params.q);
+          if (dbl.infinity) {
+            t.vz = Fe{};
+          } else {
+            t.vx = fqm::fe_from(mq, dbl.x);
+            t.vy = fqm::fe_from(mq, dbl.y);
+            t.vz = one_m;
+          }
+        } else {
+          t.vz = Fe{};  // V == −P: vertical line (eliminated); V + P = O
+        }
+        continue;
+      }
+      Fe zh;
+      fqm::fe_mul(mq, t.vz, hh, zh);
+      Fe2 line;
+      fqm::fe_add(mq, t.qx, t.px, u);
+      fqm::fe_mul(mq, rr, u, line.a);
+      fqm::fe_mul(mq, t.py, zh, u);
+      fqm::fe_sub(mq, line.a, u, line.a);  // R·(xQ + xP) − yP·Z·H
+      fqm::fe_mul(mq, zh, t.qy, line.b);
+      fqm::fe2_mul(mq, f, line, tmp);
+      f = tmp;
+
+      Fe h2, h3, uh2, xp, yp;
+      fqm::fe_sqr(mq, hh, h2);
+      fqm::fe_mul(mq, h2, hh, h3);
+      fqm::fe_mul(mq, t.vx, h2, uh2);
+      fqm::fe_sqr(mq, rr, xp);
+      fqm::fe_sub(mq, xp, h3, xp);
+      fqm::fe_add(mq, uh2, uh2, u);
+      fqm::fe_sub(mq, xp, u, xp);
+      fqm::fe_sub(mq, uh2, xp, u);
+      fqm::fe_mul(mq, rr, u, yp);
+      fqm::fe_mul(mq, t.vy, h3, u);
+      fqm::fe_sub(mq, yp, u, yp);
+      t.vx = xp;
+      t.vy = yp;
+      t.vz = zh;
+    }
+  }
+
+  // The single shared final exponentiation.
+  const Fe2 f_conj = fqm::fe2_conj(mq, f);
+  Fe na, nb, norm;
+  fqm::fe_sqr(mq, f.a, na);
+  fqm::fe_sqr(mq, f.b, nb);
+  fqm::fe_add(mq, na, nb, norm);
+  const Fe norm_inv = fqm::fe_inv(mq, norm);
+  Fe2 f_inv;
+  fqm::fe_mul(mq, f.a, norm_inv, f_inv.a);
+  const Fe neg_b = fqm::fe_neg(mq, f.b);
+  fqm::fe_mul(mq, neg_b, norm_inv, f_inv.b);
+  fqm::fe2_mul(mq, f_conj, f_inv, tmp);  // f^(q−1)
+  const Fe2 res = fqm::fe2_pow(mq, tmp, params.h);
+  return Fq2{fqm::fe_to(mq, res.a), fqm::fe_to(mq, res.b)};
+}
+}  // namespace
+
+Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
+  obs::ScopedTimer timer(obs::Registry::global(), *pair_hist_);
+  if (p.infinity || qpt.infinity) return fq2_one();
+  if (!montq_.fits_fixed()) return pair_reference(p, qpt);
+  std::vector<MillerTermM> terms(1);
+  terms[0].px = fqm::fe_from(montq_, p.x);
+  terms[0].py = fqm::fe_from(montq_, p.y);
+  terms[0].qx = fqm::fe_from(montq_, qpt.x);
+  terms[0].qy = fqm::fe_from(montq_, qpt.y);
+  return miller_product(montq_, params_, terms);
+}
+
+Fq2 Pairing::pair_product(std::span<const PairTerm> in) const {
+  obs::ScopedTimer timer(obs::Registry::global(), *pair_product_hist_);
+  pair_product_pairs_->record(static_cast<double>(in.size()));
+  if (!montq_.fits_fixed()) {
+    // Oversized modulus: independent reference pairings (one final
+    // exponentiation each); the product is identical, just slower.
+    Fq2 acc = fq2_one();
+    for (const PairTerm& t : in) {
+      acc = fq2_mul(acc, pair_reference(t.p, t.q), params_.q);
+    }
+    return acc;
+  }
+  std::vector<MillerTermM> terms;
+  terms.reserve(in.size());
+  for (const PairTerm& t : in) {
+    if (t.p.infinity || t.q.infinity) continue;  // e(O, ·) = e(·, O) = 1
+    MillerTermM m;
+    m.px = fqm::fe_from(montq_, t.p.x);
+    m.py = fqm::fe_from(montq_, t.p.y);
+    m.qx = fqm::fe_from(montq_, t.q.x);
+    m.qy = fqm::fe_from(montq_, t.q.y);
+    terms.push_back(m);
+  }
+  return miller_product(montq_, params_, terms);
+}
+
+GtFixedBase::GtFixedBase(const math::Montgomery& mq, const Fq2& base,
+                         std::size_t exp_bits)
+    : mq_(mq), base_(base) {
+  if (!mq.fits_fixed() || exp_bits == 0) return;
+  windows_ = (exp_bits + 3) / 4;
+  table_.reserve(windows_ * 15);
+  Fe2 cur{fqm::fe_from(mq, base.a), fqm::fe_from(mq, base.b)};
+  for (std::size_t w = 0; w < windows_; ++w) {
+    Fe2 acc = cur;
+    for (unsigned d = 1; d <= 15; ++d) {
+      table_.push_back(acc);
+      if (d < 15) {
+        Fe2 next;
+        fqm::fe2_mul(mq, acc, cur, next);
+        acc = next;
+      }
+    }
+    // Next window's base: cur^16 = (cur^8)²; cur^8 sits at offset 7.
+    Fe2 c8 = table_[w * 15 + 7];
+    fqm::fe2_sqr(mq, c8, c8);
+    cur = c8;
+  }
+}
+
+Fq2 GtFixedBase::pow(const BigInt& e) const {
+  if (e.is_negative()) {
+    throw std::invalid_argument("GtFixedBase::pow: negative exponent");
+  }
+  if (table_.empty() || e.bit_length() > windows_ * 4) {
+    return fq2_pow(base_, e, mq_);
+  }
+  Fe2 acc = fqm::fe2_one(mq_);
+  Fe2 tmp;
+  for (std::size_t w = 0; w < windows_; ++w) {
+    unsigned nib = 0;
+    for (unsigned i = 0; i < 4; ++i) {
+      nib |= (e.bit(w * 4 + i) ? 1u : 0u) << i;
+    }
+    if (nib == 0) continue;
+    fqm::fe2_mul(mq_, acc, table_[w * 15 + (nib - 1)], tmp);
+    acc = tmp;
+  }
+  return {fqm::fe_to(mq_, acc.a), fqm::fe_to(mq_, acc.b)};
+}
+
 Fq2 Pairing::gt_mul(const Fq2& a, const Fq2& b) const {
   return fq2_mul(a, b, params_.q);
 }
 
 Fq2 Pairing::gt_pow(const Fq2& a, const BigInt& e) const {
-  return fq2_pow(a, mod(e, params_.r), params_.q);
+  obs::ScopedTimer timer(obs::Registry::global(), *gt_pow_hist_);
+  const BigInt er = mod(e, params_.r);
+  if (egg_table_ && a == egg_table_->base()) {
+    gt_fixed_base_total_->inc();
+    return egg_table_->pow(er);
+  }
+  return fq2_pow(a, er, montq_);
 }
 
 Fq2 Pairing::gt_inv(const Fq2& a) const { return fq2_inv(a, params_.q); }

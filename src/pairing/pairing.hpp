@@ -8,10 +8,13 @@
 
 #include <cstddef>
 #include <memory>
+#include <span>
+#include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "math/montgomery.hpp"
+#include "obs/metrics.hpp"
 #include "pairing/curve.hpp"
 #include "pairing/fq2.hpp"
 
@@ -33,6 +36,37 @@ struct Params {
 /// q_bits must exceed r_bits by at least 8.
 Params generate_params(Rng& rng, std::size_t r_bits, std::size_t q_bits);
 
+/// One (P, Q) input to a multi-pairing product.
+struct PairTerm {
+  Point p;
+  Point q;
+};
+
+/// Windowed fixed-base exponentiation table for one GT element: entries
+/// base^(d·16^j) for 4-bit windows j and digits d, so pow() costs one F_q²
+/// multiplication per nonzero nibble of the exponent and no squarings.
+/// Borrows `mq`; the owner must keep it alive (the Pairing guarantees this
+/// for its own table, HvePrecomp holds the PairingPtr).
+class GtFixedBase {
+ public:
+  GtFixedBase(const math::Montgomery& mq, const Fq2& base,
+              std::size_t exp_bits);
+
+  const Fq2& base() const { return base_; }
+  /// base^e for e >= 0. Exponents wider than the table fall back to the
+  /// generic windowed exponentiation.
+  Fq2 pow(const BigInt& e) const;
+  std::size_t memory_bytes() const {
+    return table_.size() * sizeof(fqm::Fe2);
+  }
+
+ private:
+  const math::Montgomery& mq_;
+  Fq2 base_;
+  std::size_t windows_ = 0;
+  std::vector<fqm::Fe2> table_;  // entry j·15 + (d−1) holds base^(d·16^j)
+};
+
 /// Immutable pairing context; shared via shared_ptr between all crypto
 /// objects bound to the same group.
 class Pairing {
@@ -40,15 +74,18 @@ class Pairing {
   explicit Pairing(Params params);
 
   /// Small deterministic parameters (80-bit r, 160-bit q) for fast tests.
-  /// Cached singleton.
+  /// Baked-in serialized constants, validated on load. Cached singleton.
   static std::shared_ptr<const Pairing> test_pairing();
   /// PBC a.param-sized parameters (160-bit r, 512-bit q) matching the
-  /// security level the paper benchmarked. Cached singleton.
+  /// security level the paper benchmarked. Baked-in constants, validated on
+  /// load. Cached singleton.
   static std::shared_ptr<const Pairing> paper_pairing();
 
   const Params& params() const { return params_; }
   const BigInt& q() const { return params_.q; }
   const BigInt& r() const { return params_.r; }
+  /// Montgomery context for F_q — the pairing stack's fast-path engine.
+  const math::Montgomery& mont_q() const { return montq_; }
 
   // --- Zr -----------------------------------------------------------------
   BigInt random_scalar(Rng& rng) const;           // uniform in [0, r)
@@ -68,8 +105,18 @@ class Pairing {
   std::size_t g1_bytes() const { return 1 + 2 * q_bytes_; }
 
   // --- GT -----------------------------------------------------------------
-  /// The pairing itself.
+  /// The pairing itself (Montgomery/fixed-limb Miller loop when the modulus
+  /// fits; pair_reference otherwise).
   Fq2 pair(const Point& p, const Point& q) const;
+  /// ∏ e(P_i, Q_i) via one interleaved Miller loop sharing a single F_q²
+  /// accumulator and a SINGLE final exponentiation. Divisions fold in as
+  /// e(A,B)·e(C,D)⁻¹ = e(A,B)·e(−C,D). Terms with an identity input
+  /// contribute 1. Equals ∏ pair(P_i, Q_i) exactly.
+  Fq2 pair_product(std::span<const PairTerm> terms) const;
+  /// The original BigInt Miller loop with per-call final exponentiation.
+  /// Kept as the correctness pin for pair()/pair_product() equivalence
+  /// tests; not instrumented.
+  Fq2 pair_reference(const Point& p, const Point& q) const;
   /// Precomputed e(g, g).
   const Fq2& gt_generator() const { return e_gg_; }
   Fq2 gt_mul(const Fq2& a, const Fq2& b) const;
@@ -88,6 +135,20 @@ class Pairing {
   std::size_t q_bytes_;
   math::Montgomery montq_;  // Montgomery context for F_q (pairing hot path)
   Fq2 e_gg_;
+  // Fixed-base tables for the bases every operation reuses: the group
+  // generator (mul/random_g1/hash-derived keys) and e(g,g) (gt_pow/
+  // random_gt). Built after parameter validation, hence by pointer.
+  std::unique_ptr<FixedBaseTable> g_table_;
+  std::unique_ptr<GtFixedBase> egg_table_;
+  // Cached obs handles (stable references into Registry::global()).
+  obs::Histogram* pair_hist_ = nullptr;
+  obs::Histogram* pair_product_hist_ = nullptr;
+  obs::Histogram* pair_product_pairs_ = nullptr;
+  obs::Histogram* g1_mul_hist_ = nullptr;
+  obs::Counter* g1_fixed_base_total_ = nullptr;
+  obs::Histogram* gt_pow_hist_ = nullptr;
+  obs::Counter* gt_fixed_base_total_ = nullptr;
+  obs::Histogram* hash_to_g1_hist_ = nullptr;
 };
 
 using PairingPtr = std::shared_ptr<const Pairing>;

@@ -94,13 +94,31 @@ struct HveToken {
   static HveToken deserialize(const pairing::Pairing& pairing, BytesView data);
 };
 
+/// Publisher-side precomputation for one public key: fixed-base windowed
+/// tables for every per-position base (T/V/R/M) plus the Ω power table, so
+/// repeated hve_encrypt calls pay one table-driven multiplication per
+/// component instead of generic double-and-add. Build once per key
+/// (~width·4 tables); holds the PairingPtr so the borrowed Montgomery
+/// context stays alive.
+struct HvePrecomp {
+  PairingPtr pairing;
+  std::vector<pairing::FixedBaseTable> t, v, r, m;  // per position
+  std::optional<pairing::GtFixedBase> omega;        // Ω = e(g,g)^y
+
+  std::size_t width() const { return t.size(); }
+};
+
+HvePrecomp hve_precompute(const HvePublicKey& pk);
+
 /// Run by the PBE-TS operator (in P3S, keying material is provisioned by the
 /// ARA and the PBE-TS holds the master key).
 HveKeys hve_setup(PairingPtr pairing, std::size_t width, Rng& rng);
 
 /// Encrypt a GT element under attribute vector x. x.size() must equal width.
+/// Pass the key's HvePrecomp to take the fixed-base fast path.
 HveCiphertext hve_encrypt(const HvePublicKey& pk, const BitVector& x,
-                          const Fq2& message, Rng& rng);
+                          const Fq2& message, Rng& rng,
+                          const HvePrecomp* precomp = nullptr);
 
 /// Generate the token for pattern w (performed by the PBE-TS on the
 /// subscriber's plaintext predicate). Throws std::invalid_argument if the
@@ -109,9 +127,15 @@ HveCiphertext hve_encrypt(const HvePublicKey& pk, const BitVector& x,
 HveToken hve_gen_token(const HveKeys& keys, const Pattern& w, Rng& rng);
 
 /// Candidate decryption: equals the encrypted message iff match(x,w) == 1;
-/// a uniformly random-looking GT element otherwise. Costs 2|S| pairings.
+/// a uniformly random-looking GT element otherwise. The 2|S| pairings run
+/// as ONE interleaved multi-pairing product (single final exponentiation).
 Fq2 hve_query(const pairing::Pairing& pairing, const HveToken& token,
               const HveCiphertext& ct);
+
+/// The original 2|S|-independent-pairings evaluation. Correctness pin for
+/// hve_query equivalence tests; not used on the hot path.
+Fq2 hve_query_reference(const pairing::Pairing& pairing,
+                        const HveToken& token, const HveCiphertext& ct);
 
 // --- KEM-DEM wrapper: how P3S ships the GUID -----------------------------------
 

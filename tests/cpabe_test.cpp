@@ -100,6 +100,38 @@ TEST_F(CpabeTest, DeepNestedPolicy) {
           .has_value());
 }
 
+TEST_F(CpabeTest, DecryptMatchesReferenceAcrossPolicyShapes) {
+  // The flattened single-multi-pairing decrypt must agree with the original
+  // recursive evaluation — including which leaves get selected when a
+  // policy is only partially satisfied (first k satisfied children win).
+  const char* policies[] = {
+      "analyst",
+      "analyst and org:us",
+      "analyst or clearance:ts",
+      "2 of (analyst, org:us, clearance:ts)",
+      "(analyst and org:us) or (auditor and clearance:ts)",
+      "2 of (analyst, auditor, (org:us or org:eu))",
+  };
+  const auto key_sets = {attrs({"analyst", "org:us"}),
+                         attrs({"auditor", "clearance:ts"}),
+                         attrs({"analyst", "org:eu", "auditor"}),
+                         attrs({"org:us"})};
+  for (const char* policy : policies) {
+    const auto m = keys_->pk.pairing->random_gt(*rng_);
+    const auto ct = cpabe_encrypt(keys_->pk, m, parse_policy(policy), *rng_);
+    for (const auto& attr_set : key_sets) {
+      const auto sk = cpabe_keygen(*keys_, attr_set, *rng_);
+      const auto fast = cpabe_decrypt(keys_->pk, sk, ct);
+      const auto ref = cpabe_decrypt_reference(keys_->pk, sk, ct);
+      ASSERT_EQ(fast.has_value(), ref.has_value()) << policy;
+      if (fast.has_value()) {
+        EXPECT_EQ(*fast, *ref) << policy;
+        EXPECT_EQ(*fast, m) << policy;
+      }
+    }
+  }
+}
+
 TEST_F(CpabeTest, RepeatedAttributeInPolicy) {
   // The same attribute may appear under several leaves.
   const auto m = keys_->pk.pairing->random_gt(*rng_);

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/rng.hpp"
 #include "math/modular.hpp"
 #include "math/montgomery.hpp"
@@ -84,6 +86,60 @@ TEST(Montgomery, FermatViaMontgomery) {
     const BigInt a = BigInt{1} + BigInt::random_below(rng, p - BigInt{1});
     EXPECT_EQ(mont.pow(a, p - BigInt{1}), BigInt{1});
   }
+}
+
+TEST(Montgomery, FixedLimbApiMatchesBigIntOps) {
+  TestRng rng(70);
+  for (const std::size_t bits : {128u, 256u, 512u}) {
+    const BigInt n = random_prime(rng, bits);
+    const Montgomery mont(n);
+    ASSERT_TRUE(mont.fits_fixed());
+    const std::size_t k = mont.limb_count();
+    const auto pack = [&](const BigInt& v) {
+      std::vector<std::uint64_t> out(k, 0);
+      const auto& limbs = v.limbs();
+      std::copy(limbs.begin(), limbs.end(), out.begin());
+      return out;
+    };
+    const auto unpack = [](std::vector<std::uint64_t> limbs) {
+      return BigInt::from_limbs_le(std::move(limbs));
+    };
+    for (int i = 0; i < 20; ++i) {
+      const BigInt a = BigInt::random_below(rng, n);
+      const BigInt b = BigInt::random_below(rng, n);
+      std::vector<std::uint64_t> out(k, 0);
+      const auto am = pack(mont.to_mont(a));
+      const auto bm = pack(mont.to_mont(b));
+      mont.mul_limbs(am.data(), bm.data(), out.data());
+      EXPECT_EQ(mont.from_mont(unpack(out)), mod_mul(a, b, n)) << bits;
+      // add/sub are domain-agnostic: plain-form inputs check them directly.
+      const auto ap = pack(a);
+      const auto bp = pack(b);
+      mont.add_limbs(ap.data(), bp.data(), out.data());
+      EXPECT_EQ(unpack(out), mod_add(a, b, n)) << bits;
+      mont.sub_limbs(ap.data(), bp.data(), out.data());
+      EXPECT_EQ(unpack(out), mod_sub(a, b, n)) << bits;
+    }
+  }
+}
+
+TEST(Montgomery, FixedLimbApiAliasingSafe) {
+  TestRng rng(71);
+  const BigInt n = random_prime(rng, 192);
+  const Montgomery mont(n);
+  const BigInt a = BigInt::random_below(rng, n);
+  const BigInt am = mont.to_mont(a);
+  std::vector<std::uint64_t> buf(mont.limb_count(), 0);
+  const auto& limbs = am.limbs();
+  std::copy(limbs.begin(), limbs.end(), buf.begin());
+  mont.mul_limbs(buf.data(), buf.data(), buf.data());  // out aliases both
+  EXPECT_EQ(mont.from_mont(BigInt::from_limbs_le(buf)), mod_mul(a, a, n));
+}
+
+TEST(Montgomery, WideModulusDoesNotFitFixed) {
+  TestRng rng(72);
+  const Montgomery mont(random_prime(rng, 576));
+  EXPECT_FALSE(mont.fits_fixed());
 }
 
 TEST(Montgomery, ModPowFastPathAgreesWithItself) {

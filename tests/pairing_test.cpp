@@ -291,5 +291,141 @@ TEST_F(PairingTest, EciesCiphertextsAreRandomized) {
   EXPECT_NE(a, b);
 }
 
+// --- Fast path vs reference pins ---------------------------------------------
+
+TEST_F(PairingTest, FastPairMatchesReference) {
+  for (int i = 0; i < 5; ++i) {
+    const Point a = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+    const Point b = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+    EXPECT_EQ(pp_->pair(a, b), pp_->pair_reference(a, b));
+  }
+}
+
+TEST_F(PairingTest, PairProductMatchesProductOfPairs) {
+  for (const std::size_t n : {1u, 2u, 3u, 7u}) {
+    std::vector<PairTerm> terms;
+    Fq2 expect = pp_->gt_one();
+    for (std::size_t i = 0; i < n; ++i) {
+      const Point a =
+          pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+      const Point b =
+          pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+      terms.push_back({a, b});
+      expect = pp_->gt_mul(expect, pp_->pair_reference(a, b));
+    }
+    EXPECT_EQ(pp_->pair_product(terms), expect) << n;
+  }
+}
+
+TEST_F(PairingTest, PairProductEmptyAndInfinityTerms) {
+  EXPECT_TRUE(fq2_is_one(pp_->pair_product({})));
+  const Point a = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+  const Point b = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+  // Identity terms contribute 1 and must not disturb the shared accumulator.
+  const std::vector<PairTerm> terms{
+      {Point::at_infinity(), b}, {a, b}, {a, Point::at_infinity()}};
+  EXPECT_EQ(pp_->pair_product(terms), pp_->pair(a, b));
+}
+
+TEST_F(PairingTest, PairProductNegationCancels) {
+  // e(A,B)·e(−A,B) = 1: the identity the HVE/CP-ABE rewrites rely on to
+  // turn GT divisions into extra product terms.
+  const Point a = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+  const Point b = pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+  const std::vector<PairTerm> terms{{a, b}, {pp_->neg(a), b}};
+  EXPECT_TRUE(fq2_is_one(pp_->pair_product(terms)));
+}
+
+TEST_F(PairingTest, MontScalarMulMatchesReferenceOnEdgeScalars) {
+  const BigInt& r = pp_->r();
+  const math::Montgomery& mq = pp_->mont_q();
+  std::vector<BigInt> scalars{BigInt{},        BigInt{1}, BigInt{2},
+                              r - BigInt{1},   r,         r + BigInt{1},
+                              r * r + BigInt{7}};
+  for (int i = 0; i < 4; ++i) scalars.push_back(BigInt::random_below(rng_, r));
+  const Point base =
+      pp_->mul(pp_->generator(), pp_->random_nonzero_scalar(rng_));
+  const FixedBaseTable table(mq, base, r.bit_length());
+  for (const BigInt& k : scalars) {
+    const Point ref = point_mul(base, k, pp_->q());
+    EXPECT_EQ(point_mul_mont(base, k, mq), ref) << k.to_dec();
+    EXPECT_EQ(table.mul(k), ref) << k.to_dec();
+  }
+  EXPECT_THROW(point_mul_mont(base, BigInt{-1}, mq), std::invalid_argument);
+  EXPECT_THROW(table.mul(BigInt{-1}), std::invalid_argument);
+  EXPECT_TRUE(point_mul_mont(Point::at_infinity(), BigInt{5}, mq).infinity);
+}
+
+TEST_F(PairingTest, Wnaf4DigitsReconstructScalar) {
+  for (int i = 0; i < 12; ++i) {
+    const BigInt k = BigInt::random_bits(rng_, 8 + 17 * i);
+    const auto digits = wnaf4(k);
+    BigInt acc{};
+    BigInt pow{1};
+    for (const std::int8_t d : digits) {
+      if (d != 0) {
+        EXPECT_NE(d % 2, 0);
+        EXPECT_LE(d, 15);
+        EXPECT_GE(d, -15);
+        acc = acc + pow * BigInt{d};
+      }
+      pow = pow + pow;
+    }
+    EXPECT_EQ(acc, k);
+  }
+}
+
+TEST_F(PairingTest, GtFixedBaseMatchesGenericPow) {
+  const Fq2 base = pp_->random_gt(rng_);
+  const GtFixedBase table(pp_->mont_q(), base, pp_->r().bit_length());
+  std::vector<BigInt> exps{BigInt{}, BigInt{1}, pp_->r() - BigInt{1}};
+  for (int i = 0; i < 4; ++i) {
+    exps.push_back(BigInt::random_below(rng_, pp_->r()));
+  }
+  for (const BigInt& e : exps) {
+    EXPECT_EQ(table.pow(e), fq2_pow(base, e, pp_->q())) << e.to_dec();
+  }
+  EXPECT_THROW(table.pow(BigInt{-1}), std::invalid_argument);
+  // The Pairing-owned e(g,g) table serves gt_pow on the GT generator.
+  const BigInt e = pp_->random_nonzero_scalar(rng_);
+  EXPECT_EQ(pp_->gt_pow(pp_->gt_generator(), e),
+            fq2_pow(pp_->gt_generator(), e, pp_->q()));
+}
+
+TEST_F(PairingTest, MontgomeryFq2PowMatchesPlain) {
+  const BigInt& q = pp_->q();
+  for (int i = 0; i < 5; ++i) {
+    const Fq2 x{BigInt::random_below(rng_, q), BigInt::random_below(rng_, q)};
+    const BigInt e = BigInt::random_bits(rng_, 150);
+    EXPECT_EQ(fq2_pow(x, e, pp_->mont_q()), fq2_pow(x, e, q));
+  }
+}
+
+TEST_F(PairingTest, HashToG1PinnedAcrossProcesses) {
+  // The exact output for a fixed input on the baked test parameters. A
+  // changed value means hash_to_g1 is no longer deterministic across
+  // processes/builds, which would break every serialized attribute hash.
+  const Point p =
+      pp_->hash_to_g1(str_to_bytes("p3s hash_to_g1 determinism pin v1"));
+  EXPECT_EQ(to_hex(pp_->serialize_g1(p)),
+            "01187676234303dcc246ef3c4b5095faf5558dabe500adb012b1f2aa803f0aa5"
+            "cedeca9184630e1972");
+}
+
+TEST(PairingBaked, BakedParamsSatisfyCurveInvariants) {
+  // test_pairing() and paper_pairing() now load serialized constants; the
+  // structural invariants the old generator guaranteed must still hold.
+  for (const PairingPtr& pp :
+       {Pairing::test_pairing(), Pairing::paper_pairing()}) {
+    const BigInt& q = pp->q();
+    const BigInt& r = pp->r();
+    EXPECT_EQ(q % BigInt{4}, BigInt{3});
+    EXPECT_TRUE((q + BigInt{1}) % r == BigInt{});  // q + 1 = h·r
+    EXPECT_TRUE(on_curve(pp->generator(), q));
+    EXPECT_TRUE(pp->mul(pp->generator(), r).infinity);
+    EXPECT_FALSE(fq2_is_one(pp->gt_generator()));
+  }
+}
+
 }  // namespace
 }  // namespace p3s::pairing

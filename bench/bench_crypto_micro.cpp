@@ -216,6 +216,71 @@ void BM_Hve_Match(benchmark::State& state) {
 }
 BENCHMARK(BM_Hve_Match)->Arg(8)->Arg(20)->Arg(40);
 
+// Multi-token matching: a subscriber holding T tokens evaluates one
+// broadcast. The sequential baseline runs the full per-token hve_query
+// (every token re-derives the Miller-loop state from the ciphertext); the
+// batch path prepares the ciphertext-side state once (hve_match_prepare)
+// and shares it across all tokens (hve_match_any), optionally spreading the
+// per-token evaluations over the global pool (P3S_THREADS).
+struct HveMatchFixture {
+  pairing::PairingPtr p = pp();
+  pbe::HveKeys keys;
+  Bytes ct;
+  std::vector<pbe::HveToken> tokens;
+  std::vector<const pbe::HveToken*> token_ptrs;
+
+  HveMatchFixture(std::size_t width, std::size_t n_tokens) {
+    TestRng rng(13);
+    keys = pbe::hve_setup(p, width, rng);
+    pbe::BitVector x(width);
+    for (auto& b : x) b = static_cast<std::uint8_t>(rng.uniform(2));
+    ct = pbe::hve_encrypt_bytes(keys.pk, x, rng.bytes(16), rng);
+    for (std::size_t t = 0; t < n_tokens; ++t) {
+      // Sparse predicates (6 fixed positions), all deliberately mismatched:
+      // no early out, every token pays full evaluation — the worst case.
+      pbe::Pattern w(width, pbe::kWildcard);
+      for (std::size_t i = 0; i < 6; ++i) {
+        const std::size_t pos = (t * 7 + i * 5) % width;
+        w[pos] = static_cast<std::int8_t>(1 - x[pos]);
+      }
+      tokens.push_back(pbe::hve_gen_token(keys, w, rng));
+    }
+    for (const auto& tok : tokens) token_ptrs.push_back(&tok);
+  }
+};
+
+void BM_Hve_MatchAny_Sequential(benchmark::State& state) {
+  const HveMatchFixture fx(40, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    for (const auto& tok : fx.tokens) {
+      benchmark::DoNotOptimize(pbe::hve_query_bytes(*fx.p, tok, fx.ct));
+    }
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hve_MatchAny_Sequential)->Arg(4)->Arg(16);
+
+void BM_Hve_MatchAny(benchmark::State& state) {
+  const HveMatchFixture fx(40, static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    const pbe::HveMatchCt prepared = pbe::hve_match_prepare(*fx.p, fx.ct);
+    benchmark::DoNotOptimize(
+        pbe::hve_match_any(*fx.p, fx.token_ptrs, prepared));
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Hve_MatchAny)->Arg(4)->Arg(16);
+
+void BM_Hve_MatchPrepare(benchmark::State& state) {
+  const HveMatchFixture fx(40, 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(pbe::hve_match_prepare(*fx.p, fx.ct));
+  }
+}
+BENCHMARK(BM_Hve_MatchPrepare);
+
 void BM_Hve_GenToken(benchmark::State& state) {
   TestRng rng(9);
   const std::size_t width = 40;

@@ -16,9 +16,12 @@ int main() {
   p50.match_fraction = 0.50;
   model::ModelParams p5 = model::ModelParams::paper_defaults();
   p5.match_fraction = 0.05;
+  // Same P3S_THREADS knob as fig9: subscriber match parallelism.
+  p50.sub_match_threads = benchutil::env_threads(p50.sub_match_threads);
+  p5.sub_match_threads = p50.sub_match_threads;
 
-  std::printf("=== Fig. 10: Throughput vs message size (f=50%%, B=10Mbps, N_s=%zu) ===\n\n",
-              p50.n_subscribers);
+  std::printf("=== Fig. 10: Throughput vs message size (f=50%%, B=10Mbps, N_s=%zu, w=%u) ===\n\n",
+              p50.n_subscribers, p50.sub_match_threads);
   std::printf("%10s  %12s  %12s  %10s  |  %10s\n", "payload", "base(pub/s)",
               "p3s(pub/s)", "rel(f=50%)", "rel(f=5%)");
   std::printf("%10s  %12s  %12s  %10s  |  %10s\n", "-------", "-----------",

@@ -1,7 +1,9 @@
 #!/bin/sh
 # Perf smoke: diff two bench metrics snapshots (the JSON epilogue files the
 # bench binaries write, e.g. BENCH_crypto_micro.json) and fail when any
-# p3s.crypto.* latency histogram's p50 regressed by more than the threshold.
+# data-path latency histogram's p50 (p3s.crypto.*, p3s.ds.*, p3s.pub.*,
+# p3s.sub.*, p3s.exec.* — this covers the batch-match and fanout paths)
+# regressed by more than the threshold.
 #
 #   sh scripts/perf_smoke.sh OLD.json NEW.json [threshold_pct]
 #
@@ -33,12 +35,12 @@ done
 tmpdir="$(mktemp -d)"
 trap 'rm -rf "$tmpdir"' EXIT
 
-# Emit "name p50" for every populated p3s.crypto.* latency histogram. The
+# Emit "name p50" for every populated data-path latency histogram. The
 # snapshot is a single JSON line; splitting on '{' puts one metric object
 # per awk record, which POSIX match()/substr() can then field out.
 extract() {
   tr '{' '\n' < "$1" | awk '
-    /"name":"p3s\.crypto\.[a-z0-9_.]*_seconds"/ && /"type":"histogram"/ {
+    /"name":"p3s\.(crypto|ds|pub|sub|exec)\.[a-z0-9_.]*_seconds"/ && /"type":"histogram"/ {
       name = ""; count = 0; p50 = ""
       if (match($0, /"name":"[^"]*"/))
         name = substr($0, RSTART + 8, RLENGTH - 9)
@@ -54,7 +56,7 @@ extract "$old" > "$tmpdir/old"
 extract "$new" > "$tmpdir/new"
 
 if [ ! -s "$tmpdir/new" ]; then
-  echo "perf_smoke: no populated p3s.crypto.* histograms in $new" >&2
+  echo "perf_smoke: no populated data-path latency histograms in $new" >&2
   echo "perf_smoke: (did the bench run with P3S_BENCH_JSON=0?)" >&2
   exit 2
 fi

@@ -1,5 +1,6 @@
 #include "common/rng.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace p3s {
@@ -27,6 +28,16 @@ std::uint64_t Rng::uniform(std::uint64_t bound) {
     v = u64();
   } while (v >= limit);
   return v % bound;
+}
+
+void ReplayRng::fill(std::span<std::uint8_t> out) {
+  if (out.size() > stream_.size() - pos_) {
+    throw std::out_of_range("ReplayRng: pre-drawn byte stream exhausted");
+  }
+  std::copy(stream_.begin() + static_cast<std::ptrdiff_t>(pos_),
+            stream_.begin() + static_cast<std::ptrdiff_t>(pos_ + out.size()),
+            out.begin());
+  pos_ += out.size();
 }
 
 namespace {

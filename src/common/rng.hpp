@@ -28,6 +28,26 @@ class Rng {
   std::uint64_t u64();
 };
 
+/// Serves a fixed byte stream that was drawn from a real Rng ahead of time.
+/// This is how parallel code keeps bit-identical randomness: the caller
+/// pre-draws the exact bytes each task will consume (in sequential order) and
+/// hands every task its own ReplayRng slice, so N-thread output equals the
+/// 1-thread run. Throws std::out_of_range if a task asks for more bytes than
+/// were pre-drawn — a consumption-accounting bug, never silent.
+class ReplayRng final : public Rng {
+ public:
+  explicit ReplayRng(Bytes stream) : stream_(std::move(stream)) {}
+
+  void fill(std::span<std::uint8_t> out) override;
+
+  /// Bytes not yet served (0 when the task consumed its full budget).
+  std::size_t remaining() const { return stream_.size() - pos_; }
+
+ private:
+  Bytes stream_;
+  std::size_t pos_ = 0;
+};
+
 /// Fast deterministic non-cryptographic generator (xoshiro256**): for unit
 /// tests, simulations, and workload generation. NOT for key material in
 /// production settings; the DRBG in src/crypto is the secure source.

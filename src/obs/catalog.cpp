@@ -19,6 +19,11 @@ void register_catalog(Registry& r) {
   r.histogram(kPubAbeEncryptSeconds, {}, "seconds",
               "CP-ABE encryption of (GUID, payload) under the policy", lat);
   r.histogram(kPubPayloadBytes, {}, "bytes", "plaintext payload size", sz);
+  r.counter(kPubBatchTotal, {}, "1", "publish_batch() calls");
+  r.histogram(kPubBatchItems, {}, "1", "items per publish_batch() call",
+              Histogram::exponential_bounds(1.0, 2.0, 16));
+  r.histogram(kPubBatchSeconds, {}, "seconds",
+              "publish_batch() call: parallel encrypt + serial submit", lat);
 
   // Dissemination server.
   r.counter(kDsPublishesTotal, {}, "1", "metadata publishes accepted");
@@ -29,6 +34,9 @@ void register_catalog(Registry& r) {
   r.gauge(kDsSubscribers, {}, "1", "registered subscribers");
   r.gauge(kDsPublishers, {}, "1", "registered publishers");
   r.gauge(kDsSessions, {}, "1", "live secure-channel sessions");
+  r.histogram(kDsFanoutSeconds, {}, "seconds",
+              "one metadata fanout: seal (parallel) + send to all subscribers",
+              lat);
 
   // Repository server.
   r.counter(kRsStoreTotal, {}, "1", "items stored");
@@ -73,6 +81,8 @@ void register_catalog(Registry& r) {
             "fetched payloads the attribute key could not decrypt");
   r.counter(kSubTokenRequestsTotal, {}, "1", "token requests sent");
   r.counter(kSubTokenRejectionsTotal, {}, "1", "token requests rejected");
+  r.counter(kSubMatchSkippedWidth, {}, "1",
+            "tokens skipped by the width pre-filter (no pairing work)");
 
   // Secure channel.
   r.counter(kChanHandshakesTotal, {{"side", kSideClient}}, "1",
@@ -110,6 +120,23 @@ void register_catalog(Registry& r) {
             "GT exponentiations served by the e(g,g) table");
   r.histogram(kCryptoHashToG1Seconds, {}, "seconds",
               "hash-to-G1 (try-and-increment + cofactor clearing)", lat);
+  r.histogram(kCryptoHveBatchSeconds, {}, "seconds",
+              "hve_match_any: all tokens against one prepared ciphertext",
+              lat);
+  r.histogram(kCryptoHveBatchTokens, {}, "1",
+              "tokens evaluated per hve_match_any call",
+              Histogram::exponential_bounds(1.0, 2.0, 12));
+  r.histogram(kCryptoHvePrepareSeconds, {}, "seconds",
+              "hve_match_prepare: per-broadcast Miller precompute", lat);
+
+  // Execution layer.
+  r.gauge(kExecThreads, {}, "1", "global pool worker count");
+  r.counter(kExecTasksTotal, {}, "1", "tasks submitted to any pool");
+  r.counter(kExecInlineTotal, {}, "1",
+            "tasks run inline (single-thread fallback or nested submit)");
+  r.counter(kExecStealsTotal, {}, "1", "tasks taken from another queue");
+  r.counter(kExecParallelForTotal, {}, "1",
+            "parallel_for / parallel_find invocations");
 }
 
 }  // namespace p3s::obs

@@ -13,6 +13,7 @@
 //   anon anonymizing relay       chan secure channel (net/secure)
 //   sim  discrete-event engine + simulated network
 //   crypto  pairing-stack primitives (Miller loops, scalar mult, GT exp)
+//   exec shared thread-pool execution layer (src/exec)
 #pragma once
 
 namespace p3s::obs {
@@ -26,6 +27,9 @@ inline constexpr char kPubPublishSeconds[] = "p3s.pub.publish_seconds";
 inline constexpr char kPubPbeEncryptSeconds[] = "p3s.pub.pbe_encrypt_seconds";
 inline constexpr char kPubAbeEncryptSeconds[] = "p3s.pub.abe_encrypt_seconds";
 inline constexpr char kPubPayloadBytes[] = "p3s.pub.payload_bytes";
+inline constexpr char kPubBatchTotal[] = "p3s.pub.batch_total";
+inline constexpr char kPubBatchItems[] = "p3s.pub.batch_items";
+inline constexpr char kPubBatchSeconds[] = "p3s.pub.batch_seconds";
 
 // --- dissemination server (paper §4.1) -------------------------------------
 inline constexpr char kDsPublishesTotal[] = "p3s.ds.publishes_total";
@@ -36,6 +40,7 @@ inline constexpr char kDsContentForwardedTotal[] =
 inline constexpr char kDsSubscribers[] = "p3s.ds.subscribers";
 inline constexpr char kDsPublishers[] = "p3s.ds.publishers";
 inline constexpr char kDsSessions[] = "p3s.ds.sessions";
+inline constexpr char kDsFanoutSeconds[] = "p3s.ds.fanout_seconds";
 
 // --- repository server (paper §4.1, §4.3 "Deletion") -----------------------
 inline constexpr char kRsStoreTotal[] = "p3s.rs.store_total";
@@ -75,6 +80,8 @@ inline constexpr char kSubTokenRequestsTotal[] =
     "p3s.sub.token_requests_total";
 inline constexpr char kSubTokenRejectionsTotal[] =
     "p3s.sub.token_rejections_total";
+inline constexpr char kSubMatchSkippedWidth[] =
+    "p3s.sub.match_skipped_width";
 
 // --- secure channel (paper §4.1 "TLS tunnels") -----------------------------
 inline constexpr char kChanHandshakesTotal[] =
@@ -109,6 +116,20 @@ inline constexpr char kCryptoGtFixedBaseTotal[] =
     "p3s.crypto.gt_fixed_base_total";
 inline constexpr char kCryptoHashToG1Seconds[] =
     "p3s.crypto.hash_to_g1_seconds";
+inline constexpr char kCryptoHveBatchSeconds[] =
+    "p3s.crypto.hve_batch_seconds";
+inline constexpr char kCryptoHveBatchTokens[] =
+    "p3s.crypto.hve_batch_tokens";
+inline constexpr char kCryptoHvePrepareSeconds[] =
+    "p3s.crypto.hve_prepare_seconds";
+
+// --- execution layer (src/exec; DESIGN.md "execution layer") ---------------
+inline constexpr char kExecThreads[] = "p3s.exec.threads";
+inline constexpr char kExecTasksTotal[] = "p3s.exec.tasks_total";
+inline constexpr char kExecInlineTotal[] = "p3s.exec.inline_total";
+inline constexpr char kExecStealsTotal[] = "p3s.exec.steals_total";
+inline constexpr char kExecParallelForTotal[] =
+    "p3s.exec.parallel_for_total";
 
 }  // namespace names
 

@@ -2,6 +2,8 @@
 
 #include "common/log.hpp"
 #include "common/serial.hpp"
+#include "crypto/chacha20.hpp"
+#include "exec/pool.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
@@ -21,6 +23,8 @@ struct DsMetrics {
   obs::Gauge& subscribers = reg.gauge(obs::names::kDsSubscribers);
   obs::Gauge& publishers = reg.gauge(obs::names::kDsPublishers);
   obs::Gauge& sessions = reg.gauge(obs::names::kDsSessions);
+  obs::Histogram& fanout_seconds =
+      reg.histogram(obs::names::kDsFanoutSeconds);
 };
 
 DsMetrics& ds_metrics() {
@@ -138,15 +142,46 @@ void DisseminationServer::handle_inner(const std::string& from,
       const Bytes hve_ct = r.bytes();
       r.expect_done();
       metrics.publishes.inc();
+      obs::ScopedTimer fanout_timer(metrics.reg, metrics.fanout_seconds,
+                                    obs::names::kDsFanoutSeconds);
       // Fan out to every registered subscriber; the DS cannot tell who (if
-      // anyone) will match — that is the point.
+      // anyone) will match — that is the point. The inner frame is
+      // serialized once; the per-session seals (AEAD over distinct session
+      // state) run in parallel into per-subscriber buffers. seal() consumes
+      // exactly one AEAD nonce from the RNG, so nonces are pre-drawn
+      // serially in subscriber order and replayed per task — the wire bytes
+      // are identical to the sequential loop for any pool size. Sends stay
+      // on this thread: net::Network is not thread-safe.
       Writer fwd;
       fwd.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
       fwd.bytes(hve_ct);
+      std::vector<const std::string*> subs;
+      std::vector<net::SecureSession*> sess;
+      subs.reserve(subscribers_.size());
+      sess.reserve(subscribers_.size());
       for (const std::string& sub : subscribers_) {
-        send_sealed(sub, fwd.data());
+        const auto it = sessions_.find(sub);
+        if (it == sessions_.end()) continue;  // no session: drop, as before
+        subs.push_back(&sub);
+        sess.push_back(&it->second);
       }
-      metrics.fanout.inc(subscribers_.size());
+      std::vector<Bytes> nonces;
+      nonces.reserve(subs.size());
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        nonces.push_back(rng_.bytes(crypto::ChaCha20::kNonceSize));
+      }
+      std::vector<Bytes> records(subs.size());
+      exec::Pool::global().parallel_for(0, subs.size(), [&](std::size_t i) {
+        ReplayRng nonce_rng(nonces[i]);
+        Writer w;
+        w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
+        w.bytes(sess[i]->seal(fwd.data(), nonce_rng));
+        records[i] = w.take();
+      });
+      for (std::size_t i = 0; i < subs.size(); ++i) {
+        network_.send(name_, *subs[i], std::move(records[i]));
+      }
+      metrics.fanout.inc(subs.size());
       metrics.fanout_batch.record(static_cast<double>(subscribers_.size()));
       return;
     }

@@ -4,6 +4,8 @@
 
 #include "common/log.hpp"
 #include "common/serial.hpp"
+#include "crypto/drbg.hpp"
+#include "exec/pool.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
 #include "p3s/messages.hpp"
@@ -22,6 +24,10 @@ struct PubMetrics {
       reg.histogram(obs::names::kPubAbeEncryptSeconds);
   obs::Histogram& payload_bytes =
       reg.histogram(obs::names::kPubPayloadBytes, {}, "bytes");
+  obs::Counter& batches = reg.counter(obs::names::kPubBatchTotal);
+  obs::Histogram& batch_items = reg.histogram(obs::names::kPubBatchItems);
+  obs::Histogram& batch_seconds =
+      reg.histogram(obs::names::kPubBatchSeconds);
 };
 
 PubMetrics& pub_metrics() {
@@ -87,6 +93,62 @@ void Publisher::on_frame(const std::string& from, BytesView data) {
   }
 }
 
+Publisher::EncodedItem Publisher::encode_item(const pbe::Metadata& metadata,
+                                              BytesView payload,
+                                              const abe::PolicyNode& policy,
+                                              double ttl_seconds,
+                                              const Guid& guid, Rng& rng,
+                                              double now) {
+  PubMetrics& metrics = pub_metrics();
+  metrics.payload_bytes.record(static_cast<double>(payload.size()));
+
+  // Token-revocation epochs (§6.1 mitigation): stamp the metadata with the
+  // epoch active now, so only current-epoch tokens match it.
+  pbe::Metadata stamped = metadata;
+  if (creds_.epoch.has_value()) {
+    stamped = creds_.epoch->stamp(std::move(stamped), now);
+  }
+
+  // CP-ABE-encrypt the 2-tuple (GUID, payload) under the policy into the
+  // (GUID, ciphertext, TTL) storage frame for the RS.
+  Writer tuple;
+  tuple.raw(guid.to_bytes());
+  tuple.bytes(payload);
+  const Bytes abe_ct = [&] {
+    obs::ScopedTimer t(metrics.reg, metrics.abe_encrypt_seconds,
+                       obs::names::kPubAbeEncryptSeconds);
+    return abe::cpabe_encrypt_bytes(creds_.abe_pk, tuple.data(), policy, rng);
+  }();
+  ContentBody body;
+  body.guid_wrapped = super_encrypt_guid_;
+  body.guid_field =
+      super_encrypt_guid_
+          ? pairing::ecies_encrypt(*creds_.abe_pk.pairing,
+                                   creds_.services.rs_pk, guid.to_bytes(), rng)
+          : guid.to_bytes();
+  body.ttl_seconds = ttl_seconds;
+  body.abe_ciphertext = abe_ct;
+  EncodedItem out;
+  Writer content_frame;
+  content_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishContent));
+  content_frame.raw(content_body(body));
+  out.content_frame = content_frame.take();
+
+  // PBE-encrypt the GUID under the metadata vector for dissemination to all
+  // subscribers (paper Fig. 4).
+  const pbe::BitVector bits = creds_.schema.encode_metadata(stamped);
+  const Bytes hve_ct = [&] {
+    obs::ScopedTimer t(metrics.reg, metrics.pbe_encrypt_seconds,
+                       obs::names::kPubPbeEncryptSeconds);
+    return pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng);
+  }();
+  Writer meta_frame;
+  meta_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
+  meta_frame.bytes(hve_ct);
+  out.meta_frame = meta_frame.take();
+  return out;
+}
+
 Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
                         const abe::PolicyNode& policy, double ttl_seconds) {
   if (!connected_) throw std::logic_error("Publisher: not connected");
@@ -95,58 +157,59 @@ Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
   obs::ScopedTimer publish_timer(metrics.reg, metrics.publish_seconds,
                                  obs::names::kPubPublishSeconds);
   metrics.publishes.inc();
-  metrics.payload_bytes.record(static_cast<double>(payload.size()));
 
   const Guid guid = Guid::random(rng_);
+  const EncodedItem enc = encode_item(metadata, payload, policy, ttl_seconds,
+                                      guid, rng_, network_.now());
+  // Content is submitted before the metadata broadcast so that a subscriber
+  // whose match races the store never misses (the paper's model takes
+  // max(t_p, t_b) for the same reason).
+  send_sealed(enc.content_frame);
+  send_sealed(enc.meta_frame);
+  return guid;
+}
 
-  // Token-revocation epochs (§6.1 mitigation): stamp the metadata with the
-  // epoch active now, so only current-epoch tokens match it.
-  pbe::Metadata stamped = metadata;
-  if (creds_.epoch.has_value()) {
-    stamped = creds_.epoch->stamp(std::move(stamped), network_.now());
+std::vector<Guid> Publisher::publish_batch(
+    const std::vector<PublishItem>& items) {
+  if (!connected_) throw std::logic_error("Publisher: not connected");
+
+  PubMetrics& metrics = pub_metrics();
+  obs::ScopedTimer batch_timer(metrics.reg, metrics.batch_seconds,
+                               obs::names::kPubBatchSeconds);
+  metrics.batches.inc();
+  metrics.batch_items.record(static_cast<double>(items.size()));
+  metrics.publishes.inc(items.size());
+
+  // Per-item randomness: a dedicated DRBG per item, seeded serially from
+  // the publisher's RNG in item order. Rejection sampling inside the
+  // pairing code makes a byte-budget pre-draw impossible, so independent
+  // deterministic streams are what keeps an N-worker batch bit-identical
+  // to the single-thread run (pinned by the batch equivalence test).
+  const double now = network_.now();
+  std::vector<Guid> guids;
+  std::vector<crypto::Drbg> rngs;
+  guids.reserve(items.size());
+  rngs.reserve(items.size());
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    guids.push_back(Guid::random(rng_));
+    rngs.emplace_back(rng_.bytes(32));
   }
 
-  // CP-ABE-encrypt the 2-tuple (GUID, payload) under the policy and send
-  // (GUID, ciphertext, TTL) for storage at the RS. Content is submitted
-  // before the metadata broadcast so that a subscriber whose match races
-  // the store never misses (the paper's model takes max(t_p, t_b) for the
-  // same reason).
-  Writer tuple;
-  tuple.raw(guid.to_bytes());
-  tuple.bytes(payload);
-  const Bytes abe_ct = [&] {
-    obs::ScopedTimer t(metrics.reg, metrics.abe_encrypt_seconds,
-                       obs::names::kPubAbeEncryptSeconds);
-    return abe::cpabe_encrypt_bytes(creds_.abe_pk, tuple.data(), policy, rng_);
-  }();
-  ContentBody body;
-  body.guid_wrapped = super_encrypt_guid_;
-  body.guid_field =
-      super_encrypt_guid_
-          ? pairing::ecies_encrypt(*creds_.abe_pk.pairing,
-                                   creds_.services.rs_pk, guid.to_bytes(), rng_)
-          : guid.to_bytes();
-  body.ttl_seconds = ttl_seconds;
-  body.abe_ciphertext = abe_ct;
-  Writer content_frame;
-  content_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishContent));
-  content_frame.raw(content_body(body));
-  send_sealed(content_frame.data());
+  std::vector<EncodedItem> encoded(items.size());
+  exec::Pool::global().parallel_for(0, items.size(), [&](std::size_t i) {
+    encoded[i] = encode_item(items[i].metadata, items[i].payload,
+                             items[i].policy, items[i].ttl_seconds, guids[i],
+                             rngs[i], now);
+  });
 
-  // PBE-encrypt the GUID under the metadata vector and send it to the DS
-  // for dissemination to all subscribers (paper Fig. 4).
-  const pbe::BitVector bits = creds_.schema.encode_metadata(stamped);
-  const Bytes hve_ct = [&] {
-    obs::ScopedTimer t(metrics.reg, metrics.pbe_encrypt_seconds,
-                       obs::names::kPubPbeEncryptSeconds);
-    return pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng_);
-  }();
-  Writer meta_frame;
-  meta_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
-  meta_frame.bytes(hve_ct);
-  send_sealed(meta_frame.data());
-
-  return guid;
+  // Seals and sends stay serial and in item order: the channel's record
+  // sequence numbers and net::Network are single-threaded state. Content
+  // still precedes metadata per item, as in publish().
+  for (const EncodedItem& enc : encoded) {
+    send_sealed(enc.content_frame);
+    send_sealed(enc.meta_frame);
+  }
+  return guids;
 }
 
 }  // namespace p3s::core

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <string>
+#include <vector>
 
 #include "common/guid.hpp"
 #include "net/network.hpp"
@@ -12,6 +13,14 @@
 #include "p3s/credentials.hpp"
 
 namespace p3s::core {
+
+/// One item of a batch publish: the same inputs publish() takes.
+struct PublishItem {
+  pbe::Metadata metadata;
+  Bytes payload;
+  abe::PolicyNode policy;
+  double ttl_seconds = 3600.0;
+};
 
 class Publisher {
  public:
@@ -33,6 +42,15 @@ class Publisher {
   Guid publish(const pbe::Metadata& metadata, BytesView payload,
                const abe::PolicyNode& policy, double ttl_seconds = 3600.0);
 
+  /// Publish a batch. The per-item cryptography (CP-ABE encrypt, HVE
+  /// encrypt, optional GUID super-encryption) runs as pool tasks; the
+  /// channel seals and network sends stay serial in item order (content
+  /// before metadata per item, as in publish()). Each item draws its
+  /// randomness from a dedicated DRBG seeded serially from the publisher's
+  /// RNG, so the produced traffic is bit-identical for any pool size.
+  /// Returns the fresh GUIDs in item order.
+  std::vector<Guid> publish_batch(const std::vector<PublishItem>& items);
+
   /// Footnote-1 mitigation: super-encrypt the GUID in the content
   /// submission under the RS public key so eavesdroppers (and the DS)
   /// cannot learn it. Off by default to match the base paper protocol.
@@ -41,8 +59,19 @@ class Publisher {
   const std::string& name() const { return name_; }
 
  private:
+  struct EncodedItem {
+    Bytes content_frame;
+    Bytes meta_frame;
+  };
+
   void on_frame(const std::string& from, BytesView frame);
   void send_sealed(BytesView inner);
+  /// The pure (sendless) per-item cryptography, shared by publish() and the
+  /// batch path; safe to run concurrently for distinct items when each call
+  /// gets its own Rng.
+  EncodedItem encode_item(const pbe::Metadata& metadata, BytesView payload,
+                          const abe::PolicyNode& policy, double ttl_seconds,
+                          const Guid& guid, Rng& rng, double now);
 
   net::Network& network_;
   std::string name_;

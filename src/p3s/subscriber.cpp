@@ -33,6 +33,8 @@ struct SubMetrics {
       reg.counter(obs::names::kSubTokenRequestsTotal);
   obs::Counter& token_rejections =
       reg.counter(obs::names::kSubTokenRejectionsTotal);
+  obs::Counter& match_skipped_width =
+      reg.counter(obs::names::kSubMatchSkippedWidth);
 };
 
 SubMetrics& sub_metrics() {
@@ -100,7 +102,26 @@ void Subscriber::disconnect() {
 
 void Subscriber::refresh_tokens() {
   tokens_.clear();
+  reindex_tokens();
   for (const pbe::Interest& interest : interests_) request_token(interest);
+}
+
+void Subscriber::reindex_tokens() {
+  token_min_widths_.clear();
+  token_positions_union_.clear();
+  for (const pbe::HveToken& token : tokens_) {
+    std::uint32_t max_pos = 0;
+    for (const std::uint32_t pos : token.positions) {
+      max_pos = std::max(max_pos, pos);
+      token_positions_union_.push_back(pos);
+    }
+    token_min_widths_.push_back(max_pos + 1);
+  }
+  std::sort(token_positions_union_.begin(), token_positions_union_.end());
+  token_positions_union_.erase(
+      std::unique(token_positions_union_.begin(),
+                  token_positions_union_.end()),
+      token_positions_union_.end());
 }
 
 void Subscriber::subscribe(const pbe::Interest& interest) {
@@ -139,6 +160,7 @@ void Subscriber::request_token(const pbe::Interest& interest) {
   if (creds_.embedded_hve.has_value()) {
     tokens_.push_back(pbe::hve_gen_token(
         *creds_.embedded_hve, creds_.schema.encode_interest(effective), rng_));
+    reindex_tokens();
     return;
   }
 
@@ -219,22 +241,47 @@ void Subscriber::handle_metadata(BytesView hve_ct) {
   ++metadata_received_;
   SubMetrics& metrics = sub_metrics();
   metrics.metadata_received.inc();
-  obs::ScopedTimer match_timer(metrics.reg, metrics.match_seconds,
-                               obs::names::kSubMatchSeconds);
   const pairing::Pairing& pairing = *creds_.abe_pk.pairing;
-  // Local matching on encrypted metadata: try every token. A successful
-  // KEM decryption reveals exactly the GUID — nothing else about the
-  // metadata (attribute hiding).
-  for (const pbe::HveToken& token : tokens_) {
-    metrics.match_attempts.inc();
-    const auto guid_bytes = pbe::hve_query_bytes(pairing, token, hve_ct);
-    if (guid_bytes.has_value() && guid_bytes->size() == Guid::kSize) {
-      ++matches_;
-      metrics.match_hits.inc();
-      request_content(Guid::from_bytes(*guid_bytes));
-      return;  // one match is enough to fetch
+
+  // Local matching on encrypted metadata. A successful KEM decryption
+  // reveals exactly the GUID — nothing else about the metadata (attribute
+  // hiding). The ciphertext-side Miller state is prepared once per
+  // broadcast (restricted to positions some token probes) and shared by
+  // every token evaluation, which run on the global pool with first-hit
+  // short-circuit.
+  std::optional<Guid> matched;
+  {
+    obs::ScopedTimer match_timer(metrics.reg, metrics.match_seconds,
+                                 obs::names::kSubMatchSeconds);
+    try {
+      if (!tokens_.empty()) {
+        const pbe::HveMatchCt prepared = pbe::hve_match_prepare(
+            pairing, hve_ct, &token_positions_union_);
+        // Width pre-filter: a token probing a position beyond this
+        // broadcast's width can never match — skip it before any pairing.
+        std::vector<const pbe::HveToken*> eligible;
+        eligible.reserve(tokens_.size());
+        for (std::size_t i = 0; i < tokens_.size(); ++i) {
+          if (token_min_widths_[i] > prepared.width()) {
+            metrics.match_skipped_width.inc();
+            continue;
+          }
+          eligible.push_back(&tokens_[i]);
+        }
+        metrics.match_attempts.inc(eligible.size());
+        const pbe::HveMatchResult res =
+            pbe::hve_match_any(pairing, eligible, prepared);
+        if (res.matched() && res.payload.size() == Guid::kSize) {
+          ++matches_;
+          metrics.match_hits.inc();
+          matched = Guid::from_bytes(res.payload);
+        }
+      }
+    } catch (const std::exception&) {
+      // Malformed broadcast — same outcome as a universal non-match.
     }
-  }
+  }  // the match timer ends at the decision; the RS fetch is not match time
+  if (matched.has_value()) request_content(*matched);
 }
 
 void Subscriber::handle_token_response(BytesView body) {
@@ -260,6 +307,7 @@ void Subscriber::handle_token_response(BytesView body) {
   }
   tokens_.push_back(
       pbe::HveToken::deserialize(*creds_.abe_pk.pairing, token_bytes));
+  reindex_tokens();
 }
 
 void Subscriber::handle_content_response(BytesView body) {

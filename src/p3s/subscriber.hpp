@@ -91,6 +91,8 @@ class Subscriber {
   void request_content(const Guid& guid);
   void send_sealed(BytesView inner);
   void send_service_request(const std::string& service, Bytes request);
+  /// Rebuild the width index + position union after any tokens_ mutation.
+  void reindex_tokens();
 
   net::Network& network_;
   std::string name_;
@@ -102,6 +104,14 @@ class Subscriber {
   bool connected_ = false;
   std::vector<pbe::Interest> interests_;
   std::vector<pbe::HveToken> tokens_;
+  // Width index over tokens_: token_min_widths_[i] is the smallest broadcast
+  // width tokens_[i] can possibly match (max probed position + 1), so
+  // narrower broadcasts skip that token with zero pairing work.
+  // token_positions_union_ is the ascending union of all probed positions,
+  // limiting the per-broadcast Miller precompute to positions some token
+  // actually probes.
+  std::vector<std::uint32_t> token_min_widths_;
+  std::vector<std::uint32_t> token_positions_union_;
   std::uint64_t next_tag_ = 1;
   std::map<std::uint64_t, Bytes> pending_token_ks_;
   std::map<std::uint64_t, Bytes> pending_content_ks_;

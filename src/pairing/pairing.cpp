@@ -438,6 +438,26 @@ struct MillerTermM {
   Fe vx, vy, vz;  // vz == 0 → V = O
 };
 
+// The shared final exponentiation f^((q²−1)/r) = (conj(f)·f⁻¹)^h since
+// (q²−1)/r = (q−1)·h and f^q = conj(f) in F_q².
+Fq2 final_exponentiation_m(const math::Montgomery& mq, const Params& params,
+                           const Fe2& f) {
+  const Fe2 f_conj = fqm::fe2_conj(mq, f);
+  Fe na, nb, norm;
+  fqm::fe_sqr(mq, f.a, na);
+  fqm::fe_sqr(mq, f.b, nb);
+  fqm::fe_add(mq, na, nb, norm);
+  const Fe norm_inv = fqm::fe_inv(mq, norm);
+  Fe2 f_inv;
+  fqm::fe_mul(mq, f.a, norm_inv, f_inv.a);
+  const Fe neg_b = fqm::fe_neg(mq, f.b);
+  fqm::fe_mul(mq, neg_b, norm_inv, f_inv.b);
+  Fe2 tmp;
+  fqm::fe2_mul(mq, f_conj, f_inv, tmp);  // f^(q−1)
+  const Fe2 res = fqm::fe2_pow(mq, tmp, params.h);
+  return Fq2{fqm::fe_to(mq, res.a), fqm::fe_to(mq, res.b)};
+}
+
 // Interleaved Miller loops computing ∏ f_{r,P_i}(φ(Q_i)): one shared F_q²
 // accumulator (a single squaring per bit regardless of the term count)
 // followed by ONE final exponentiation f^((q²−1)/r) = (conj(f)·f⁻¹)^h.
@@ -580,19 +600,7 @@ Fq2 miller_product(const math::Montgomery& mq, const Params& params,
   }
 
   // The single shared final exponentiation.
-  const Fe2 f_conj = fqm::fe2_conj(mq, f);
-  Fe na, nb, norm;
-  fqm::fe_sqr(mq, f.a, na);
-  fqm::fe_sqr(mq, f.b, nb);
-  fqm::fe_add(mq, na, nb, norm);
-  const Fe norm_inv = fqm::fe_inv(mq, norm);
-  Fe2 f_inv;
-  fqm::fe_mul(mq, f.a, norm_inv, f_inv.a);
-  const Fe neg_b = fqm::fe_neg(mq, f.b);
-  fqm::fe_mul(mq, neg_b, norm_inv, f_inv.b);
-  fqm::fe2_mul(mq, f_conj, f_inv, tmp);  // f^(q−1)
-  const Fe2 res = fqm::fe2_pow(mq, tmp, params.h);
-  return Fq2{fqm::fe_to(mq, res.a), fqm::fe_to(mq, res.b)};
+  return final_exponentiation_m(mq, params, f);
 }
 }  // namespace
 
@@ -632,6 +640,213 @@ Fq2 Pairing::pair_product(std::span<const PairTerm> in) const {
     terms.push_back(m);
   }
   return miller_product(montq_, params_, terms);
+}
+
+MillerPrecomp Pairing::miller_precompute(const Point& p) const {
+  MillerPrecomp pre;
+  pre.point_ = p;
+  if (p.infinity) {
+    pre.infinity_ = true;
+    return pre;
+  }
+  if (!montq_.fits_fixed()) return pre;  // consumers use the point_ fallback
+  const math::Montgomery& mq = montq_;
+  const std::size_t k = mq.limb_count();
+  const BigInt& r = params_.r;
+  const Fe one_m = fqm::fe_from(mq, BigInt{1});
+  const Fe px = fqm::fe_from(mq, p.x);
+  const Fe py = fqm::fe_from(mq, p.y);
+  Fe vx = px, vy = py, vz = one_m;
+
+  const std::size_t bits = r.bit_length();
+  std::size_t set_bits = 0;
+  for (std::size_t i = 0; i + 1 < bits; ++i) set_bits += r.bit(i) ? 1 : 0;
+  pre.slots_.reserve((bits - 1) + set_bits);
+
+  // Walk the exact V-chain of miller_product, recording each line's
+  // (A, B, C) instead of evaluating it against a Q.
+  for (std::size_t i = bits - 1; i-- > 0;) {
+    {
+      MillerPrecomp::Slot slot;
+      if (fqm::fe_is_zero(vz, k)) {
+        slot.skip = true;
+        pre.slots_.push_back(slot);
+      } else {
+        // Tangent at V scaled by 2YZ³: A = M·Z², B = M·X − 2Y², C = 2YZ³.
+        Fe x2, z2, z4, m, y2, two_y2, yz, two_yz3, s, xp, y4, yp, u;
+        fqm::fe_sqr(mq, vx, x2);
+        fqm::fe_sqr(mq, vz, z2);
+        fqm::fe_sqr(mq, z2, z4);
+        fqm::fe_add(mq, x2, x2, m);
+        fqm::fe_add(mq, m, x2, m);
+        fqm::fe_add(mq, m, z4, m);  // M = 3X² + Z⁴
+        fqm::fe_sqr(mq, vy, y2);
+        fqm::fe_add(mq, y2, y2, two_y2);
+        fqm::fe_mul(mq, vy, vz, yz);
+        fqm::fe_add(mq, yz, yz, two_yz3);
+        fqm::fe_mul(mq, two_yz3, z2, two_yz3);  // 2YZ³
+        fqm::fe_mul(mq, m, z2, slot.a);
+        fqm::fe_mul(mq, m, vx, slot.b);
+        fqm::fe_sub(mq, slot.b, two_y2, slot.b);
+        slot.c = two_yz3;
+        pre.slots_.push_back(slot);
+
+        // V ← 2V (a = 1), identical update to miller_product.
+        fqm::fe_mul(mq, vx, y2, s);
+        fqm::fe_dbl(mq, s, s);
+        fqm::fe_dbl(mq, s, s);  // S = 4XY²
+        fqm::fe_sqr(mq, m, xp);
+        fqm::fe_add(mq, s, s, u);
+        fqm::fe_sub(mq, xp, u, xp);  // X' = M² − 2S
+        fqm::fe_sqr(mq, y2, y4);
+        fqm::fe_dbl(mq, y4, y4);
+        fqm::fe_dbl(mq, y4, y4);
+        fqm::fe_dbl(mq, y4, y4);  // 8Y⁴
+        fqm::fe_sub(mq, s, xp, u);
+        fqm::fe_mul(mq, m, u, yp);
+        fqm::fe_sub(mq, yp, y4, yp);  // Y' = M(S − X') − 8Y⁴
+        vx = xp;
+        vy = yp;
+        fqm::fe_add(mq, yz, yz, vz);  // Z' = 2YZ
+      }
+    }
+
+    if (!r.bit(i)) continue;
+    MillerPrecomp::Slot slot;
+    if (fqm::fe_is_zero(vz, k)) {
+      slot.skip = true;
+      pre.slots_.push_back(slot);
+      vx = px;
+      vy = py;
+      vz = one_m;
+      continue;
+    }
+    // V + P (mixed addition) with the V == ±P corner cases.
+    Fe z2, u2, s2, hh, rr, u;
+    fqm::fe_sqr(mq, vz, z2);
+    fqm::fe_mul(mq, px, z2, u2);
+    fqm::fe_mul(mq, z2, vz, s2);
+    fqm::fe_mul(mq, py, s2, s2);
+    fqm::fe_sub(mq, u2, vx, hh);
+    fqm::fe_sub(mq, s2, vy, rr);
+    if (fqm::fe_is_zero(hh, k)) {
+      if (fqm::fe_is_zero(rr, k)) {
+        // V == P: tangent at the affine point. A = 3xP² + 1,
+        // B = A·xP − 2yP·yP... kept literally in sync with miller_product:
+        // B = num·xP − den·yP, C = den = 2yP.
+        Fe x2p, num, den;
+        fqm::fe_sqr(mq, px, x2p);
+        fqm::fe_add(mq, x2p, x2p, num);
+        fqm::fe_add(mq, num, x2p, num);
+        fqm::fe_add(mq, num, one_m, num);  // 3xP² + 1
+        fqm::fe_add(mq, py, py, den);      // 2yP
+        slot.a = num;
+        fqm::fe_mul(mq, num, px, slot.b);
+        fqm::fe_mul(mq, den, py, u);
+        fqm::fe_sub(mq, slot.b, u, slot.b);
+        slot.c = den;
+        pre.slots_.push_back(slot);
+        // V ← 2P via the plain-domain path (cold corner case).
+        const Point pa{fqm::fe_to(mq, px), fqm::fe_to(mq, py), false};
+        const Point dbl = point_double(pa, params_.q);
+        if (dbl.infinity) {
+          vz = Fe{};
+        } else {
+          vx = fqm::fe_from(mq, dbl.x);
+          vy = fqm::fe_from(mq, dbl.y);
+          vz = one_m;
+        }
+      } else {
+        // V == −P: vertical line (eliminated); V + P = O.
+        slot.skip = true;
+        pre.slots_.push_back(slot);
+        vz = Fe{};
+      }
+      continue;
+    }
+    Fe zh;
+    fqm::fe_mul(mq, vz, hh, zh);
+    slot.a = rr;  // line = R·xQ + (R·xP − yP·Z·H) + i·(Z·H·yQ)
+    fqm::fe_mul(mq, rr, px, slot.b);
+    fqm::fe_mul(mq, py, zh, u);
+    fqm::fe_sub(mq, slot.b, u, slot.b);
+    slot.c = zh;
+    pre.slots_.push_back(slot);
+
+    Fe h2, h3, uh2, xp, yp;
+    fqm::fe_sqr(mq, hh, h2);
+    fqm::fe_mul(mq, h2, hh, h3);
+    fqm::fe_mul(mq, vx, h2, uh2);
+    fqm::fe_sqr(mq, rr, xp);
+    fqm::fe_sub(mq, xp, h3, xp);
+    fqm::fe_add(mq, uh2, uh2, u);
+    fqm::fe_sub(mq, xp, u, xp);
+    fqm::fe_sub(mq, uh2, xp, u);
+    fqm::fe_mul(mq, rr, u, yp);
+    fqm::fe_mul(mq, vy, h3, u);
+    fqm::fe_sub(mq, yp, u, yp);
+    vx = xp;
+    vy = yp;
+    vz = zh;
+  }
+  return pre;
+}
+
+Fq2 Pairing::pair_product_precomp(std::span<const PrecompPairTerm> in) const {
+  obs::ScopedTimer timer(obs::Registry::global(), *pair_product_hist_);
+  pair_product_pairs_->record(static_cast<double>(in.size()));
+  if (!montq_.fits_fixed()) {
+    Fq2 acc = fq2_one();
+    for (const PrecompPairTerm& t : in) {
+      acc = fq2_mul(acc, pair_reference(t.p->point_, t.q), params_.q);
+    }
+    return acc;
+  }
+
+  // Live term state: the precomputed slot stream plus Q in Montgomery form.
+  struct TermState {
+    const MillerPrecomp* pre;
+    Fe qx, qy;
+    std::size_t cursor = 0;
+  };
+  std::vector<TermState> terms;
+  terms.reserve(in.size());
+  for (const PrecompPairTerm& t : in) {
+    if (t.p->infinity() || t.q.infinity) continue;  // e(O, ·) = e(·, O) = 1
+    TermState s;
+    s.pre = t.p;
+    s.qx = fqm::fe_from(montq_, t.q.x);
+    s.qy = fqm::fe_from(montq_, t.q.y);
+    terms.push_back(s);
+  }
+
+  const math::Montgomery& mq = montq_;
+  const BigInt& r = params_.r;
+  Fe2 f = fqm::fe2_one(mq);
+  Fe2 tmp;
+  Fe u;
+  // Same interleaved loop shape as miller_product: one shared squaring per
+  // bit, then every term consumes its next slot. Because fe_add/fe_sub/
+  // fe_mul always produce the canonical representative in [0, q), the
+  // regrouped evaluation A·xQ + B yields limbs identical to the inline
+  // chain, so the product is bit-identical to the PairTerm overload.
+  auto eval = [&](TermState& t) {
+    const MillerPrecomp::Slot& slot = t.pre->slots_[t.cursor++];
+    if (slot.skip) return;
+    Fe2 line;
+    fqm::fe_mul(mq, slot.a, t.qx, u);
+    fqm::fe_add(mq, u, slot.b, line.a);
+    fqm::fe_mul(mq, slot.c, t.qy, line.b);
+    fqm::fe2_mul(mq, f, line, tmp);
+    f = tmp;
+  };
+  for (std::size_t i = r.bit_length() - 1; i-- > 0;) {
+    fqm::fe2_sqr(mq, f, f);
+    for (auto& t : terms) eval(t);
+    if (!r.bit(i)) continue;
+    for (auto& t : terms) eval(t);
+  }
+  return final_exponentiation_m(mq, params_, f);
 }
 
 GtFixedBase::GtFixedBase(const math::Montgomery& mq, const Fq2& base,

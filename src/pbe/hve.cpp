@@ -5,7 +5,10 @@
 #include "common/serial.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/hmac.hpp"
+#include "exec/pool.hpp"
 #include "math/modular.hpp"
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
 
 namespace p3s::pbe {
 
@@ -375,6 +378,111 @@ std::optional<Bytes> hve_query_bytes(const pairing::Pairing& pairing,
   } catch (const std::exception&) {
     return std::nullopt;
   }
+}
+
+// --- Batch matching -------------------------------------------------------------------
+
+namespace {
+struct MatchMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Histogram& prepare =
+      reg.histogram(obs::names::kCryptoHvePrepareSeconds);
+  obs::Histogram& batch = reg.histogram(obs::names::kCryptoHveBatchSeconds);
+  obs::Histogram& batch_tokens =
+      reg.histogram(obs::names::kCryptoHveBatchTokens);
+};
+
+MatchMetrics& match_metrics() {
+  static MatchMetrics m;
+  return m;
+}
+}  // namespace
+
+HveMatchCt hve_match_prepare(const pairing::Pairing& pairing, BytesView data,
+                             const std::vector<std::uint32_t>* positions) {
+  obs::ScopedTimer timer(obs::Registry::global(), match_metrics().prepare);
+  Reader r(data);
+  HveMatchCt ct;
+  ct.kem = HveCiphertext::deserialize(pairing, r.bytes());
+  ct.dem = crypto::AeadCiphertext::deserialize(r.bytes());
+  r.expect_done();
+  const std::size_t width = ct.kem.width();
+  ct.prepared.assign(width, positions == nullptr ? 1 : 0);
+  if (positions != nullptr) {
+    for (std::uint32_t p : *positions) {
+      if (p < width) ct.prepared[p] = 1;
+    }
+  }
+  ct.x.resize(width);
+  ct.w.resize(width);
+  // Each position's precompute is pure and deterministic (no RNG), so the
+  // loop parallelizes with bit-identical results for any pool size.
+  std::vector<std::size_t> todo;
+  todo.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    if (ct.prepared[i]) todo.push_back(i);
+  }
+  exec::Pool::global().parallel_for(0, todo.size(), [&](std::size_t k) {
+    const std::size_t i = todo[k];
+    ct.x[i] = pairing.miller_precompute(ct.kem.x[i]);
+    ct.w[i] = pairing.miller_precompute(ct.kem.w[i]);
+  });
+  return ct;
+}
+
+Fq2 hve_query(const pairing::Pairing& pairing, const HveToken& token,
+              const HveMatchCt& ct) {
+  // Same term order as the plain overload; pair_product_precomp is
+  // bit-identical to pair_product, so so is this.
+  std::vector<pairing::PrecompPairTerm> terms;
+  terms.reserve(2 * token.positions.size());
+  for (std::size_t j = 0; j < token.positions.size(); ++j) {
+    const std::size_t i = token.positions[j];
+    if (i >= ct.width()) {
+      throw std::invalid_argument("hve_query: token/ciphertext width mismatch");
+    }
+    if (!ct.prepared[i]) {
+      throw std::invalid_argument(
+          "hve_query: position excluded from hve_match_prepare");
+    }
+    terms.push_back({&ct.x[i], token.y[j]});
+    terms.push_back({&ct.w[i], token.l[j]});
+  }
+  return pairing.gt_mul(ct.kem.c0, pairing.pair_product_precomp(terms));
+}
+
+HveMatchResult hve_match_any(const pairing::Pairing& pairing,
+                             std::span<const HveToken* const> tokens,
+                             const HveMatchCt& ct, exec::Pool* pool) {
+  obs::ScopedTimer timer(obs::Registry::global(), match_metrics().batch);
+  match_metrics().batch_tokens.record(static_cast<double>(tokens.size()));
+  HveMatchResult res;
+  if (tokens.empty()) return res;
+
+  // A slot per token so concurrent evaluations never share state; slot idx
+  // is written by exactly one task.
+  std::vector<std::optional<Bytes>> payloads(tokens.size());
+  const auto eval = [&](std::size_t idx) -> bool {
+    const HveToken& tok = *tokens[idx];
+    // Tokens wider than this broadcast can never match — same outcome as
+    // hve_query_bytes's width-mismatch nullopt, without the pairing work.
+    for (const std::uint32_t i : tok.positions) {
+      if (i >= ct.width()) return false;
+    }
+    const Fq2 z = hve_query(pairing, tok, ct);
+    auto payload =
+        crypto::aead_decrypt(kem_key(pairing, z), ct.dem, str_to_bytes("hve"));
+    if (!payload.has_value()) return false;
+    payloads[idx] = std::move(payload);
+    return true;
+  };
+
+  exec::Pool& p = pool != nullptr ? *pool : exec::Pool::global();
+  const std::size_t hit = p.parallel_find(tokens.size(), eval);
+  if (hit == HveMatchResult::kNoMatch) return res;
+  res.token_index = hit;
+  res.payload = std::move(*payloads[hit]);
+  return res;
 }
 
 }  // namespace p3s::pbe

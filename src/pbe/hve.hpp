@@ -23,11 +23,17 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <vector>
 
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
+#include "crypto/aead.hpp"
 #include "pairing/pairing.hpp"
+
+namespace p3s::exec {
+class Pool;
+}  // namespace p3s::exec
 
 namespace p3s::pbe {
 
@@ -150,5 +156,57 @@ Bytes hve_encrypt_bytes(const HvePublicKey& pk, const BitVector& x,
 /// attribute vector (or the input is malformed).
 std::optional<Bytes> hve_query_bytes(const pairing::Pairing& pairing,
                                      const HveToken& token, BytesView data);
+
+// --- Batch matching: ciphertext-side state shared across tokens ---------------
+
+/// Per-broadcast, token-independent match state: the KEM/DEM halves of one
+/// hve_encrypt_bytes blob plus a Miller precompute for every ciphertext
+/// point. Built ONCE per broadcast by hve_match_prepare and then shared —
+/// strictly read-only, hence safe to probe from many threads — by every
+/// token evaluation, so the Miller loop's point-arithmetic chain is paid
+/// per broadcast instead of per (broadcast, token) pair.
+struct HveMatchCt {
+  HveCiphertext kem;
+  crypto::AeadCiphertext dem;
+  std::vector<pairing::MillerPrecomp> x, w;  // index = ciphertext position
+  std::vector<std::uint8_t> prepared;        // 1 iff position has precomp
+
+  std::size_t width() const { return kem.width(); }
+};
+
+/// Deserialize an hve_encrypt_bytes blob and precompute the ciphertext-side
+/// Miller state. `positions` restricts the (expensive) precompute to the
+/// union of positions the caller's tokens actually probe; nullptr prepares
+/// every position. Throws std::invalid_argument on malformed input.
+HveMatchCt hve_match_prepare(
+    const pairing::Pairing& pairing, BytesView data,
+    const std::vector<std::uint32_t>* positions = nullptr);
+
+/// hve_query against prepared state — bit-identical to the plain overload
+/// on the same token and ciphertext. Throws std::invalid_argument if the
+/// token probes a position hve_match_prepare was told to skip.
+Fq2 hve_query(const pairing::Pairing& pairing, const HveToken& token,
+              const HveMatchCt& ct);
+
+/// Outcome of hve_match_any.
+struct HveMatchResult {
+  /// Index into `tokens` of the LOWEST-index matching token (identical to
+  /// what the sequential per-token loop would return), or kNoMatch.
+  static constexpr std::size_t kNoMatch = static_cast<std::size_t>(-1);
+  std::size_t token_index = kNoMatch;
+  Bytes payload;  // decrypted DEM payload (in P3S: the GUID) when matched
+
+  bool matched() const { return token_index != kNoMatch; }
+};
+
+/// Evaluate every token against one prepared broadcast, in parallel on
+/// `pool` (nullptr → exec::Pool::global()) with first-hit short-circuit.
+/// Each evaluation is a pure function of (token, ct), so the result is
+/// deterministic regardless of thread count. Tokens probing positions the
+/// prepare call skipped make the whole call throw std::invalid_argument.
+HveMatchResult hve_match_any(const pairing::Pairing& pairing,
+                             std::span<const HveToken* const> tokens,
+                             const HveMatchCt& ct,
+                             exec::Pool* pool = nullptr);
 
 }  // namespace p3s::pbe

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "common/serial.hpp"
+#include "exec/pool.hpp"
 #include "pbe/hve.hpp"
 
 namespace p3s::pbe {
@@ -249,6 +251,113 @@ TEST_F(HveTest, PublicKeySerializationRoundTrip) {
   w[0] = 1;
   const auto tok = hve_gen_token(*keys_, w, *rng_);
   EXPECT_EQ(hve_query(*keys_->pk.pairing, tok, ct), m);
+}
+
+TEST_F(HveTest, PreparedQueryBitIdenticalToPlainQuery) {
+  // The ciphertext-side Miller precompute must reproduce the plain
+  // multi-pairing query bit-for-bit — on matches AND on the garbage GT
+  // element a mismatch produces.
+  const auto& p = *keys_->pk.pairing;
+  const BitVector x = {1, 0, 1, 1, 0, 0, 1, 0};
+  const Bytes blob = hve_encrypt_bytes(keys_->pk, x, str_to_bytes("g"), *rng_);
+  Reader r(blob);
+  const HveCiphertext kem = HveCiphertext::deserialize(p, r.bytes());
+  const HveMatchCt prepared = hve_match_prepare(p, blob);
+  ASSERT_EQ(prepared.width(), kWidth);
+
+  const Pattern matching = {1, kWildcard, 1, kWildcard, 0,
+                            kWildcard, kWildcard, 0};
+  Pattern mismatching = matching;
+  mismatching[0] = 0;
+  for (const Pattern& w : {matching, mismatching}) {
+    const auto tok = hve_gen_token(*keys_, w, *rng_);
+    EXPECT_EQ(hve_query(p, tok, prepared), hve_query(p, tok, kem));
+  }
+}
+
+TEST_F(HveTest, PreparePositionFilterRestrictsAndRejects) {
+  const auto& p = *keys_->pk.pairing;
+  const BitVector x = {1, 0, 1, 1, 0, 0, 1, 0};
+  const Bytes blob = hve_encrypt_bytes(keys_->pk, x, str_to_bytes("g"), *rng_);
+  const std::vector<std::uint32_t> subset = {0, 3};
+  const HveMatchCt prepared = hve_match_prepare(p, blob, &subset);
+
+  Pattern inside(kWidth, kWildcard);
+  inside[0] = 1;
+  inside[3] = 1;
+  const auto tok_in = hve_gen_token(*keys_, inside, *rng_);
+  const HveCiphertext kem =
+      HveCiphertext::deserialize(p, Reader(blob).bytes());
+  EXPECT_EQ(hve_query(p, tok_in, prepared), hve_query(p, tok_in, kem));
+
+  Pattern outside(kWidth, kWildcard);
+  outside[5] = 0;  // position excluded from the prepare call
+  const auto tok_out = hve_gen_token(*keys_, outside, *rng_);
+  EXPECT_THROW(hve_query(p, tok_out, prepared), std::invalid_argument);
+}
+
+TEST_F(HveTest, MatchAnyReturnsLowestMatchAndPayload) {
+  const auto& p = *keys_->pk.pairing;
+  const BitVector x = {1, 0, 1, 1, 0, 0, 1, 0};
+  const Bytes payload = rng_->bytes(16);
+  const Bytes blob = hve_encrypt_bytes(keys_->pk, x, payload, *rng_);
+  const HveMatchCt prepared = hve_match_prepare(p, blob);
+
+  Pattern miss(kWidth, kWildcard);
+  miss[0] = 0;
+  Pattern hit_a(kWidth, kWildcard);
+  hit_a[0] = 1;
+  hit_a[1] = 0;
+  Pattern hit_b(kWidth, kWildcard);
+  hit_b[3] = 1;
+  const auto t_miss = hve_gen_token(*keys_, miss, *rng_);
+  const auto t_a = hve_gen_token(*keys_, hit_a, *rng_);
+  const auto t_b = hve_gen_token(*keys_, hit_b, *rng_);
+
+  // Two matching tokens: the LOWEST span index wins, like the serial scan.
+  const std::vector<const HveToken*> tokens = {&t_miss, &t_a, &t_b};
+  const HveMatchResult res = hve_match_any(p, tokens, prepared);
+  ASSERT_TRUE(res.matched());
+  EXPECT_EQ(res.token_index, 1u);
+  EXPECT_EQ(res.payload, payload);
+
+  // No matching token at all.
+  const std::vector<const HveToken*> misses = {&t_miss};
+  EXPECT_FALSE(hve_match_any(p, misses, prepared).matched());
+  // Empty batch.
+  EXPECT_FALSE(
+      hve_match_any(p, std::span<const HveToken* const>{}, prepared)
+          .matched());
+}
+
+TEST_F(HveTest, MatchAnyParallelEqualsSequential) {
+  // The batch evaluation must return the same index and payload whatever
+  // the pool size — sequential reference vs a multi-worker pool.
+  const auto& p = *keys_->pk.pairing;
+  TestRng rng(0x6a21);
+  const BitVector x = {1, 0, 1, 1, 0, 0, 1, 0};
+  const Bytes payload = rng.bytes(24);
+  const Bytes blob = hve_encrypt_bytes(keys_->pk, x, payload, rng);
+  const HveMatchCt prepared = hve_match_prepare(p, blob);
+
+  std::vector<HveToken> toks;
+  for (int i = 0; i < 9; ++i) {
+    Pattern w(kWidth, kWildcard);
+    w[static_cast<std::size_t>(i) % kWidth] =
+        (i == 6) ? static_cast<std::int8_t>(x[6]) : // the only match
+        static_cast<std::int8_t>(1 - x[static_cast<std::size_t>(i) % kWidth]);
+    toks.push_back(hve_gen_token(*keys_, w, rng));
+  }
+  std::vector<const HveToken*> ptrs;
+  for (const auto& t : toks) ptrs.push_back(&t);
+
+  exec::Pool seq(1), par(4);
+  const HveMatchResult a = hve_match_any(p, ptrs, prepared, &seq);
+  const HveMatchResult b = hve_match_any(p, ptrs, prepared, &par);
+  ASSERT_TRUE(a.matched());
+  EXPECT_EQ(a.token_index, 6u);
+  EXPECT_EQ(b.token_index, a.token_index);
+  EXPECT_EQ(b.payload, a.payload);
 }
 
 TEST_F(HveTest, KemRejectsMalformedInput) {

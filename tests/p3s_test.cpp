@@ -7,6 +7,7 @@
 
 #include "abe/policy.hpp"
 #include "common/rng.hpp"
+#include "exec/pool.hpp"
 #include "net/network.hpp"
 #include "p3s/system.hpp"
 
@@ -379,6 +380,79 @@ TEST_F(P3sEndToEnd, PublisherCertificateCannotGetTokens) {
   shim.subscribe({{"sector", "tech"}});
   EXPECT_EQ(shim.token_count(), 0u);
   EXPECT_EQ(shim.token_rejections(), 1u);
+}
+
+// --- Batch publishing --------------------------------------------------------------
+
+TEST_F(P3sEndToEnd, PublishBatchDeliversLikeIndividualPublishes) {
+  build();
+  auto sub = system_->make_subscriber("sub1", "s", {"a"}, rng_);
+  auto pub = system_->make_publisher("pub1", "p", rng_);
+  sub->subscribe({{"sector", "finance"}});
+
+  std::vector<PublishItem> items;
+  items.push_back({md("finance", "us", "ipo"), str_to_bytes("m1"),
+                   abe::parse_policy("a")});
+  items.push_back({md("tech", "us", "ipo"), str_to_bytes("no-match"),
+                   abe::parse_policy("a")});
+  items.push_back({md("finance", "eu", "merger"), str_to_bytes("m3"),
+                   abe::parse_policy("a")});
+  const std::vector<Guid> guids = pub->publish_batch(items);
+
+  ASSERT_EQ(guids.size(), 3u);
+  EXPECT_EQ(sub->metadata_received(), 3u);
+  ASSERT_EQ(sub->deliveries().size(), 2u);
+  EXPECT_EQ(sub->deliveries()[0].guid, guids[0]);
+  EXPECT_EQ(bytes_to_str(sub->deliveries()[0].payload), "m1");
+  EXPECT_EQ(sub->deliveries()[1].guid, guids[2]);
+  EXPECT_EQ(bytes_to_str(sub->deliveries()[1].payload), "m3");
+}
+
+// The parallel batch path must be bit-identical to the sequential one: run
+// the same seeded scenario under a 1-thread and a 4-thread global pool and
+// compare every frame an eavesdropper would see on the wire.
+TEST(P3sBatchEquivalence, WireTrafficIdenticalForAnyPoolSize) {
+  const auto run = [](std::size_t threads) {
+    exec::Pool::set_global_threads(threads);
+    net::DirectNetwork net;
+    TestRng rng(0x77aa);
+    P3sConfig config;
+    config.pairing = pairing::Pairing::test_pairing();
+    config.schema = test_schema();
+    P3sSystem system(net, std::move(config), rng);
+    auto sub = system.make_subscriber("sub1", "s", {"a"}, rng);
+    auto pub = system.make_publisher("pub1", "p", rng);
+    sub->subscribe({{"sector", "finance"}});
+    sub->subscribe({{"event", "merger"}});
+
+    std::vector<PublishItem> items;
+    items.push_back({md("finance", "us", "ipo"), str_to_bytes("a"),
+                     abe::parse_policy("a")});
+    items.push_back({md("tech", "eu", "merger"), str_to_bytes("bb"),
+                     abe::parse_policy("a")});
+    items.push_back({md("energy", "us", "earnings"), str_to_bytes("ccc"),
+                     abe::parse_policy("a")});
+    items.push_back({md("finance", "apac", "merger"), str_to_bytes("dddd"),
+                     abe::parse_policy("a")});
+    pub->publish_batch(items);
+
+    std::vector<net::TrafficRecord> traffic = net.traffic();
+    std::vector<Bytes> payloads;
+    for (const auto& d : sub->deliveries()) payloads.push_back(d.payload);
+    return std::pair(std::move(traffic), std::move(payloads));
+  };
+
+  const auto [seq_traffic, seq_deliveries] = run(1);
+  const auto [par_traffic, par_deliveries] = run(4);
+  exec::Pool::set_global_threads(1);  // restore determinism for later tests
+
+  EXPECT_EQ(seq_deliveries, par_deliveries);
+  ASSERT_EQ(seq_traffic.size(), par_traffic.size());
+  for (std::size_t i = 0; i < seq_traffic.size(); ++i) {
+    EXPECT_EQ(seq_traffic[i].from, par_traffic[i].from) << "frame " << i;
+    EXPECT_EQ(seq_traffic[i].to, par_traffic[i].to) << "frame " << i;
+    EXPECT_EQ(seq_traffic[i].frame, par_traffic[i].frame) << "frame " << i;
+  }
 }
 
 // --- Without the anonymization service ---------------------------------------------

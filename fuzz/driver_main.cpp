@@ -1,0 +1,58 @@
+// Standalone corpus-replay driver, linked when the toolchain has no
+// libFuzzer runtime (gcc). Replays every file in the paths given on the
+// command line through LLVMFuzzerTestOneInput; directories are walked
+// recursively. libFuzzer-style flags (leading '-') are ignored so the same
+// invocation works for either binary flavor.
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size);
+
+namespace {
+
+int run_file(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    std::fprintf(stderr, "driver: cannot read %s\n", path.c_str());
+    return -1;
+  }
+  std::vector<char> buf((std::istreambuf_iterator<char>(in)),
+                        std::istreambuf_iterator<char>());
+  LLVMFuzzerTestOneInput(reinterpret_cast<const std::uint8_t*>(buf.data()),
+                         buf.size());
+  return 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  namespace fs = std::filesystem;
+  long replayed = 0;
+  bool failed = false;
+  for (int i = 1; i < argc; ++i) {
+    if (argv[i][0] == '-') continue;  // libFuzzer flag; not ours
+    const fs::path p(argv[i]);
+    if (fs::is_directory(p)) {
+      for (const auto& entry : fs::recursive_directory_iterator(p)) {
+        if (!entry.is_regular_file()) continue;
+        const int r = run_file(entry.path());
+        if (r < 0) failed = true;
+        if (r > 0) ++replayed;
+      }
+    } else {
+      const int r = run_file(p);
+      if (r < 0) failed = true;
+      if (r > 0) ++replayed;
+    }
+  }
+  std::fprintf(stderr, "driver: replayed %ld inputs\n", replayed);
+  if (failed || replayed == 0) {
+    std::fprintf(stderr, "driver: FAILED (missing or unreadable corpus)\n");
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Fuzz harness for the bounds-checked serializer (common/serial.hpp), the
+// substrate every P3S wire frame is parsed with. The input is interpreted
+// as {n_ops}{op bytes...}{payload}: each op byte drives one Reader method
+// against the payload. std::out_of_range / std::invalid_argument are the
+// decoder's documented rejection path; anything else — OOB reads, UB,
+// aborts — is a finding for the sanitizer underneath.
+#include <cstdint>
+#include <stdexcept>
+
+#include "common/serial.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  if (size < 2) return 0;
+  const std::size_t n_ops = static_cast<std::size_t>(data[0] % 32) + 1;
+  if (size < 1 + n_ops) return 0;
+  const p3s::BytesView payload(data + 1 + n_ops, size - 1 - n_ops);
+
+  p3s::Reader r(payload);
+  for (std::size_t i = 0; i < n_ops; ++i) {
+    const std::uint8_t op = data[1 + i];
+    try {
+      switch (op % 9) {
+        case 0: (void)r.u8(); break;
+        case 1: (void)r.u16(); break;
+        case 2: (void)r.u32(); break;
+        case 3: (void)r.u64(); break;
+        case 4: (void)r.raw(op >> 4); break;
+        case 5: (void)r.bytes(); break;
+        case 6: (void)r.str(); break;
+        case 7: (void)r.done(); break;
+        case 8: r.expect_done(); break;
+      }
+    } catch (const std::out_of_range&) {
+      // truncated input: the decoder's contract; keep driving
+    } catch (const std::invalid_argument&) {
+      // trailing bytes on expect_done: also contractual
+    }
+    (void)r.remaining();
+  }
+
+  // Round-trip sanity: whatever the Writer emits, the Reader must accept.
+  p3s::Writer w;
+  w.u8(data[1]);
+  w.bytes(payload);
+  w.str("f");
+  p3s::Reader rt(w.data());
+  (void)rt.u8();
+  (void)rt.bytes();
+  (void)rt.str();
+  rt.expect_done();
+  return 0;
+}

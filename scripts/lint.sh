@@ -1,0 +1,38 @@
+#!/bin/sh
+# Build (cached) and run the p3s-lint static analyzer over src/.
+#
+#   sh scripts/lint.sh [repo-root]          lint the tree (exit 1 on findings)
+#   sh scripts/lint.sh --selftest [root]    run the seeded-fixture selftest
+#
+# The tool is a single standalone C++20 binary (tools/p3s-lint/, no
+# dependencies), compiled on demand into build/lint/ and reused until its
+# sources change. CI runs both modes as required steps.
+set -eu
+
+mode=lint
+if [ "${1:-}" = "--selftest" ]; then
+  mode=selftest
+  shift
+fi
+root="${1:-$(dirname "$0")/..}"
+root="$(cd "$root" && pwd)"
+
+tool_src="$root/tools/p3s-lint"
+if [ ! -f "$tool_src/main.cpp" ]; then
+  echo "lint.sh: cannot find tools/p3s-lint under '$root'" >&2
+  exit 2
+fi
+
+bin_dir="$root/build/lint"
+bin="$bin_dir/p3s-lint"
+mkdir -p "$bin_dir"
+
+if [ ! -x "$bin" ] || [ "$tool_src/main.cpp" -nt "$bin" ] \
+    || [ "$tool_src/lexer.hpp" -nt "$bin" ]; then
+  ${CXX:-c++} -std=c++20 -O2 -Wall -Wextra -o "$bin" "$tool_src/main.cpp"
+fi
+
+if [ "$mode" = "selftest" ]; then
+  exec "$bin" --selftest "$tool_src/selftest"
+fi
+exec "$bin" --root "$root"

@@ -97,11 +97,11 @@ Bytes PolicyNode::serialize() const {
 
 namespace {
 PolicyNode deserialize_node(Reader& r) {
-  const std::uint8_t tag = r.u8();
-  if (tag == 0) {
+  const std::uint8_t node_type = r.u8();
+  if (node_type == 0) {
     return PolicyNode::leaf(r.str());
   }
-  if (tag != 1) throw std::invalid_argument("PolicyNode: bad tag");
+  if (node_type != 1) throw std::invalid_argument("PolicyNode: bad tag");
   const std::uint32_t k = r.u32();
   const std::uint32_t n = r.u32();
   if (n > 4096) throw std::invalid_argument("PolicyNode: too many children");

@@ -52,13 +52,6 @@ Bytes concat(BytesView a, BytesView b) {
   return out;
 }
 
-bool ct_equal(BytesView a, BytesView b) {
-  if (a.size() != b.size()) return false;
-  std::uint8_t diff = 0;
-  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
-  return diff == 0;
-}
-
 void xor_inplace(Bytes& a, BytesView b) {
   if (a.size() != b.size()) {
     throw std::invalid_argument("xor_inplace: size mismatch");

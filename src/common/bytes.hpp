@@ -31,9 +31,6 @@ std::string bytes_to_str(BytesView data);
 /// Concatenate buffers.
 Bytes concat(BytesView a, BytesView b);
 
-/// Constant-time equality check (length leak only), for MAC/tag comparison.
-bool ct_equal(BytesView a, BytesView b);
-
 /// XOR b into a (sizes must match). Throws std::invalid_argument otherwise.
 void xor_inplace(Bytes& a, BytesView b);
 

@@ -4,6 +4,7 @@
 
 #include "common/serial.hpp"
 #include "crypto/chacha20.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/poly1305.hpp"
 
 namespace p3s::crypto {

@@ -1,0 +1,48 @@
+// Constant-time primitives. This is the ONE blessed home for secret
+// comparisons: every MAC/tag/digest check in the tree routes through
+// ct_equal (tools/p3s-lint's secret-compare rule flags memcmp and ==/!= on
+// secret-named operands in the crypto-bearing modules). tests/ct_test.cpp
+// pins the timing behaviour with a dudect-style Welch t-test.
+#pragma once
+
+#include <cstdint>
+
+#include "common/bytes.hpp"
+
+namespace p3s::crypto {
+
+/// Constant-time equality over equal-length buffers; only the LENGTH may
+/// leak (mismatched sizes return false immediately — sizes are public
+/// protocol constants for every caller). The accumulator is pinned with a
+/// value barrier so the compiler can neither short-circuit the loop nor
+/// branch on partial results.
+inline bool ct_equal(BytesView a, BytesView b) {
+  if (a.size() != b.size()) return false;
+  std::uint8_t diff = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) diff |= a[i] ^ b[i];
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : "+r"(diff));
+#endif
+  return diff == 0;
+}
+
+/// Constant-time "is all zero".
+inline bool ct_is_zero(BytesView a) {
+  std::uint8_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) acc |= a[i];
+#if defined(__GNUC__) || defined(__clang__)
+  __asm__ __volatile__("" : "+r"(acc));
+#endif
+  return acc == 0;
+}
+
+/// Branchless select: returns `yes` when pick != 0, else `no`. For callers
+/// that must not branch on a secret decision bit.
+inline std::uint8_t ct_select_u8(std::uint8_t pick, std::uint8_t yes,
+                                 std::uint8_t no) {
+  const std::uint8_t mask =
+      static_cast<std::uint8_t>(-static_cast<std::uint8_t>(pick != 0));
+  return static_cast<std::uint8_t>((yes & mask) | (no & static_cast<std::uint8_t>(~mask)));
+}
+
+}  // namespace p3s::crypto

@@ -2,6 +2,7 @@
 
 #include <stdexcept>
 
+#include "crypto/ct.hpp"
 #include "crypto/sha256.hpp"
 
 namespace p3s::crypto {
@@ -26,6 +27,10 @@ Bytes hmac_sha256(BytesView key, BytesView data) {
   outer.update(opad);
   outer.update(inner_digest);
   return outer.finish();
+}
+
+bool hmac_verify(BytesView key, BytesView data, BytesView mac) {
+  return ct_equal(hmac_sha256(key, data), mac);
 }
 
 Bytes hkdf_extract(BytesView salt, BytesView ikm) {

@@ -9,6 +9,11 @@ namespace p3s::crypto {
 /// HMAC-SHA256 of `data` under `key` (any key length).
 Bytes hmac_sha256(BytesView key, BytesView data);
 
+/// Verify `mac` against HMAC-SHA256(key, data) in constant time (crypto/
+/// ct.hpp). The single blessed entry point for MAC checks — callers must
+/// never compare digests themselves.
+bool hmac_verify(BytesView key, BytesView data, BytesView mac);
+
 /// HKDF-Extract(salt, ikm) -> 32-byte PRK.
 Bytes hkdf_extract(BytesView salt, BytesView ikm);
 

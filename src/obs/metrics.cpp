@@ -1,10 +1,12 @@
 #include "obs/metrics.hpp"
 
 #include <algorithm>
+#include <array>
 #include <bit>
 #include <chrono>
 #include <stdexcept>
 
+#include "common/probe.hpp"
 #include "obs/catalog.hpp"
 
 namespace p3s::obs {
@@ -87,14 +89,79 @@ void Histogram::reset() noexcept {
 
 Registry::Registry() = default;
 
+namespace {
+
+// Receiver side of the common/probe.hpp seam: routes probe events from the
+// hermetic primitive layers (pairing today) into the global registry. Ids
+// resolve to catalogued instruments lazily, then hit a lock-free per-id
+// cache — the probe hot path costs one atomic load per event after the
+// first. Ids beyond the fixed cache (far larger than the catalogue needs)
+// fall back to a registry lookup per event.
+class RegistryProbeSink final : public probe::Sink {
+ public:
+  explicit RegistryProbeSink(Registry& registry) : registry_(registry) {}
+
+  double now() const override {
+    return registry_.enabled() ? registry_.now() : 0.0;
+  }
+
+  void observe(std::size_t id, double value) override {
+    if (Histogram* h = resolve(hists_, id, [this](const char* name) {
+          return &registry_.histogram(name);
+        })) {
+      h->record(value);
+    }
+  }
+
+  void add(std::size_t id, std::uint64_t delta) override {
+    if (Counter* c = resolve(counters_, id, [this](const char* name) {
+          return &registry_.counter(name);
+        })) {
+      c->inc(delta);
+    }
+  }
+
+ private:
+  static constexpr std::size_t kCache = 64;
+
+  template <typename T, typename Resolve>
+  T* resolve(std::array<std::atomic<T*>, kCache>& cache, std::size_t id,
+             Resolve make) {
+    const char* name = probe::interned_name(id);
+    if (name == nullptr) return nullptr;
+    if (id >= kCache) return make(name);
+    T* cached = cache[id].load(std::memory_order_acquire);
+    if (cached != nullptr) return cached;
+    T* fresh = make(name);  // get-or-create: idempotent, stable reference
+    cache[id].store(fresh, std::memory_order_release);
+    return fresh;
+  }
+
+  Registry& registry_;
+  std::array<std::atomic<Histogram*>, kCache> hists_{};
+  std::array<std::atomic<Counter*>, kCache> counters_{};
+};
+
+}  // namespace
+
 Registry& Registry::global() {
   static Registry* instance = [] {
     auto* r = new Registry();  // never destroyed: safe to touch at exit
     register_catalog(*r);
+    // Wire the primitive layers' probe seam into this registry (never
+    // uninstalled: the registry and sink live for the process).
+    probe::set_sink(new RegistryProbeSink(*r));
     return r;
   }();
   return *instance;
 }
+
+namespace {
+// Force the probe sink's installation at load time in every process that
+// links obs, so primitive-layer events recorded before the first explicit
+// Registry::global() call still land in the registry.
+[[maybe_unused]] const bool kProbeSinkInstalled = (Registry::global(), true);
+}  // namespace
 
 namespace {
 bool vocab_char(char c) {

@@ -7,7 +7,6 @@
 #include "crypto/hmac.hpp"
 #include "crypto/sha256.hpp"
 #include "math/prime.hpp"
-#include "obs/catalog.hpp"
 #include "pairing/fq_mont.hpp"
 
 namespace p3s::pairing {
@@ -95,16 +94,16 @@ Pairing::Pairing(Params params)
   final_exp_ = (params_.q * params_.q - BigInt{1}) / params_.r;
   q_bytes_ = (params_.q.bit_length() + 7) / 8;
 
-  auto& reg = obs::Registry::global();
-  using namespace obs::names;  // NOLINT
-  pair_hist_ = &reg.histogram(kCryptoPairSeconds);
-  pair_product_hist_ = &reg.histogram(kCryptoPairProductSeconds);
-  pair_product_pairs_ = &reg.histogram(kCryptoPairProductPairs);
-  g1_mul_hist_ = &reg.histogram(kCryptoG1MulSeconds);
-  g1_fixed_base_total_ = &reg.counter(kCryptoG1FixedBaseTotal);
-  gt_pow_hist_ = &reg.histogram(kCryptoGtPowSeconds);
-  gt_fixed_base_total_ = &reg.counter(kCryptoGtFixedBaseTotal);
-  hash_to_g1_hist_ = &reg.histogram(kCryptoHashToG1Seconds);
+  // Same spellings as src/obs/catalog.hpp (metric-vocab lint enforces it);
+  // duplicated here because the hermetic pairing layer cannot include obs.
+  pair_probe_ = probe::intern("p3s.crypto.pair_seconds");
+  pair_product_probe_ = probe::intern("p3s.crypto.pair_product_seconds");
+  pair_product_pairs_probe_ = probe::intern("p3s.crypto.pair_product_pairs");
+  g1_mul_probe_ = probe::intern("p3s.crypto.g1_mul_seconds");
+  g1_fixed_base_probe_ = probe::intern("p3s.crypto.g1_fixed_base_total");
+  gt_pow_probe_ = probe::intern("p3s.crypto.gt_pow_seconds");
+  gt_fixed_base_probe_ = probe::intern("p3s.crypto.gt_fixed_base_total");
+  hash_to_g1_probe_ = probe::intern("p3s.crypto.hash_to_g1_seconds");
 
   e_gg_ = pair(params_.g, params_.g);
   if (fq2_is_one(e_gg_)) {
@@ -199,10 +198,10 @@ BigInt Pairing::random_nonzero_scalar(Rng& rng) const {
 }
 
 Point Pairing::mul(const Point& p, const BigInt& k) const {
-  obs::ScopedTimer timer(obs::Registry::global(), *g1_mul_hist_);
+  probe::ScopedTimer timer(g1_mul_probe_);
   const BigInt kr = mod(k, params_.r);
   if (g_table_ && !p.infinity && p == params_.g) {
-    g1_fixed_base_total_->inc();
+    probe::add(g1_fixed_base_probe_);
     return g_table_->mul(kr);
   }
   return point_mul_mont(p, kr, montq_);
@@ -222,7 +221,7 @@ Point Pairing::hash_to_g1(BytesView data) const {
   // Every step below is deterministic in `data` (HKDF stream, fixed root
   // choice, one shared cofactor-multiplication path), so the same input
   // maps to the same point in every process.
-  obs::ScopedTimer timer(obs::Registry::global(), *hash_to_g1_hist_);
+  probe::ScopedTimer timer(hash_to_g1_probe_);
   const Bytes prk = crypto::hkdf_extract(str_to_bytes("p3s-hash-to-g1"), data);
   for (std::uint32_t ctr = 0;; ++ctr) {
     Writer info;
@@ -605,7 +604,7 @@ Fq2 miller_product(const math::Montgomery& mq, const Params& params,
 }  // namespace
 
 Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
-  obs::ScopedTimer timer(obs::Registry::global(), *pair_hist_);
+  probe::ScopedTimer timer(pair_probe_);
   if (p.infinity || qpt.infinity) return fq2_one();
   if (!montq_.fits_fixed()) return pair_reference(p, qpt);
   std::vector<MillerTermM> terms(1);
@@ -617,8 +616,8 @@ Fq2 Pairing::pair(const Point& p, const Point& qpt) const {
 }
 
 Fq2 Pairing::pair_product(std::span<const PairTerm> in) const {
-  obs::ScopedTimer timer(obs::Registry::global(), *pair_product_hist_);
-  pair_product_pairs_->record(static_cast<double>(in.size()));
+  probe::ScopedTimer timer(pair_product_probe_);
+  probe::observe(pair_product_pairs_probe_, static_cast<double>(in.size()));
   if (!montq_.fits_fixed()) {
     // Oversized modulus: independent reference pairings (one final
     // exponentiation each); the product is identical, just slower.
@@ -793,8 +792,8 @@ MillerPrecomp Pairing::miller_precompute(const Point& p) const {
 }
 
 Fq2 Pairing::pair_product_precomp(std::span<const PrecompPairTerm> in) const {
-  obs::ScopedTimer timer(obs::Registry::global(), *pair_product_hist_);
-  pair_product_pairs_->record(static_cast<double>(in.size()));
+  probe::ScopedTimer timer(pair_product_probe_);
+  probe::observe(pair_product_pairs_probe_, static_cast<double>(in.size()));
   if (!montq_.fits_fixed()) {
     Fq2 acc = fq2_one();
     for (const PrecompPairTerm& t : in) {
@@ -899,10 +898,10 @@ Fq2 Pairing::gt_mul(const Fq2& a, const Fq2& b) const {
 }
 
 Fq2 Pairing::gt_pow(const Fq2& a, const BigInt& e) const {
-  obs::ScopedTimer timer(obs::Registry::global(), *gt_pow_hist_);
+  probe::ScopedTimer timer(gt_pow_probe_);
   const BigInt er = mod(e, params_.r);
   if (egg_table_ && a == egg_table_->base()) {
-    gt_fixed_base_total_->inc();
+    probe::add(gt_fixed_base_probe_);
     return egg_table_->pow(er);
   }
   return fq2_pow(a, er, montq_);

@@ -12,9 +12,9 @@
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "common/probe.hpp"
 #include "common/rng.hpp"
 #include "math/montgomery.hpp"
-#include "obs/metrics.hpp"
 #include "pairing/curve.hpp"
 #include "pairing/fq2.hpp"
 
@@ -181,15 +181,18 @@ class Pairing {
   // random_gt). Built after parameter validation, hence by pointer.
   std::unique_ptr<FixedBaseTable> g_table_;
   std::unique_ptr<GtFixedBase> egg_table_;
-  // Cached obs handles (stable references into Registry::global()).
-  obs::Histogram* pair_hist_ = nullptr;
-  obs::Histogram* pair_product_hist_ = nullptr;
-  obs::Histogram* pair_product_pairs_ = nullptr;
-  obs::Histogram* g1_mul_hist_ = nullptr;
-  obs::Counter* g1_fixed_base_total_ = nullptr;
-  obs::Histogram* gt_pow_hist_ = nullptr;
-  obs::Counter* gt_fixed_base_total_ = nullptr;
-  obs::Histogram* hash_to_g1_hist_ = nullptr;
+  // Interned probe ids (common/probe.hpp). The pairing layer is hermetic —
+  // no obs dependency — so instrumentation goes through the probe seam;
+  // src/obs routes these into its Registry when linked. Name literals are
+  // lint-checked against src/obs/catalog.hpp (metric-vocab rule).
+  std::size_t pair_probe_ = 0;
+  std::size_t pair_product_probe_ = 0;
+  std::size_t pair_product_pairs_probe_ = 0;
+  std::size_t g1_mul_probe_ = 0;
+  std::size_t g1_fixed_base_probe_ = 0;
+  std::size_t gt_pow_probe_ = 0;
+  std::size_t gt_fixed_base_probe_ = 0;
+  std::size_t hash_to_g1_probe_ = 0;
 };
 
 using PairingPtr = std::shared_ptr<const Pairing>;

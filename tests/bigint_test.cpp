@@ -23,6 +23,22 @@ TEST(BigInt, Int64MinRoundTrip) {
   EXPECT_EQ(v.to_dec(), "-9223372036854775808");
 }
 
+// Pins the INT64_MIN arithmetic paths the UBSan job watches: the naive
+// `-v` on the raw int64 would overflow, so the constructor and negation
+// must take the -(v+1)+1 route. Values are pinned so a regression changes
+// output, not just sanitizer status.
+TEST(BigInt, Int64MinArithmeticPinned) {
+  const BigInt v{std::int64_t{INT64_MIN}};
+  EXPECT_EQ((-v).to_dec(), "9223372036854775808");
+  EXPECT_EQ(v.abs().to_dec(), "9223372036854775808");
+  EXPECT_EQ((v + v).to_dec(), "-18446744073709551616");
+  EXPECT_EQ((v - v), BigInt{});
+  EXPECT_EQ((v * BigInt{-1}).to_hex(), "8000000000000000");
+  auto [q, r] = BigInt::divmod(v, BigInt{-1});
+  EXPECT_EQ(q.to_hex(), "8000000000000000");
+  EXPECT_TRUE(r.is_zero());
+}
+
 TEST(BigInt, DecRoundTrip) {
   const char* cases[] = {
       "0",
@@ -127,6 +143,52 @@ TEST(BigInt, ShiftRoundTrip) {
   EXPECT_EQ(BigInt{1} << 64, BigInt::from_hex("10000000000000000"));
   EXPECT_EQ(BigInt::from_hex("10000000000000000") >> 64, BigInt{1});
   EXPECT_EQ(BigInt{3} >> 10, BigInt{});
+}
+
+// Shift counts at exact limb boundaries are where a shift-width bug would
+// hide: n % 64 == 0 must bypass the `x << bits` / `x >> (64 - bits)` pair
+// entirely (both would be UB at width 64). Pinned values catch an
+// off-by-one even if the sanitizer build is skipped.
+TEST(BigInt, ShiftAtLimbBoundariesPinned) {
+  const BigInt a = BigInt::from_hex("f0debc9a78563412f0debc9a78563412");
+  EXPECT_EQ((a << 64).to_hex(),
+            "f0debc9a78563412f0debc9a785634120000000000000000");
+  EXPECT_EQ((a << 128).to_hex(),
+            "f0debc9a78563412f0debc9a78563412"
+            "00000000000000000000000000000000");
+  EXPECT_EQ((a >> 64).to_hex(), "f0debc9a78563412");
+  EXPECT_EQ((a >> 128), BigInt{});
+  EXPECT_EQ((a >> 127), BigInt{1});
+  EXPECT_EQ((a << 63).to_hex(),
+            "786f5e4d3c2b1a09786f5e4d3c2b1a090000000000000000");
+  EXPECT_EQ((BigInt{} << 64), BigInt{});
+  EXPECT_EQ((BigInt{} >> 64), BigInt{});
+  EXPECT_EQ((a >> 100000), BigInt{});
+  EXPECT_EQ(((BigInt{1} << 4096) >> 4096), BigInt{1});
+}
+
+// Division shapes that drive qhat to its correction loop and the add-back
+// branch: dense all-ones dividends against divisors whose second limb is
+// near the radix. The quotient/remainder identity plus pinned remainders
+// guard the multiply-subtract borrow chain in Algorithm D.
+TEST(BigInt, DivmodQhatCorrectionSweep) {
+  const BigInt one{1};
+  const BigInt u = (one << 256) - one;                   // 2^256 - 1
+  const BigInt v = (one << 128) - (one << 64) - one;     // sparse high limbs
+  auto [q, r] = BigInt::divmod(u, v);
+  EXPECT_EQ(q * v + r, u);
+  EXPECT_LT(r, v);
+  EXPECT_EQ(q.to_hex(), "100000000000000010000000000000002");
+  EXPECT_EQ(r.to_hex(), "30000000000000001");
+  TestRng rng(113);
+  for (int i = 0; i < 300; ++i) {
+    BigInt a = BigInt::random_bits(rng, 1 + rng.uniform(520));
+    BigInt b = BigInt::random_bits(rng, 1 + rng.uniform(260));
+    auto [qq, rr] = BigInt::divmod(a, b);
+    EXPECT_EQ(qq * b + rr, a);
+    auto [qn, rn] = BigInt::divmod(-a, b);
+    EXPECT_EQ(qn * b + rn, -a);
+  }
 }
 
 TEST(BigInt, Comparison) {

@@ -4,6 +4,7 @@
 
 #include "common/bytes.hpp"
 #include "common/guid.hpp"
+#include "common/probe.hpp"
 #include "common/rng.hpp"
 #include "common/serial.hpp"
 
@@ -35,10 +36,20 @@ TEST(Bytes, Concat) {
   EXPECT_EQ(concat(str_to_bytes("ab"), str_to_bytes("cd")), str_to_bytes("abcd"));
 }
 
-TEST(Bytes, CtEqual) {
-  EXPECT_TRUE(ct_equal(str_to_bytes("abc"), str_to_bytes("abc")));
-  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("abd")));
-  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("ab")));
+// Without an installed sink (nothing links obs here) every probe call must
+// be a safe no-op, and interning must still hand out stable dense ids —
+// that is what lets the hermetic layers instrument unconditionally.
+TEST(Probe, NoopWithoutSinkAndStableIds) {
+  EXPECT_EQ(probe::sink(), nullptr);
+  const std::size_t id = probe::intern("p3s.crypto.pair_seconds");
+  EXPECT_EQ(probe::intern("p3s.crypto.pair_seconds"), id);
+  EXPECT_STREQ(probe::interned_name(id), "p3s.crypto.pair_seconds");
+  probe::observe(id, 1.0);  // must not crash
+  probe::add(id, 2);
+  {
+    probe::ScopedTimer timer(id);
+  }
+  EXPECT_NE(probe::intern("p3s.crypto.g1_mul_seconds"), id);
 }
 
 TEST(Bytes, XorInplace) {

@@ -3,6 +3,7 @@
 #include "common/rng.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/chacha20.hpp"
+#include "crypto/ct.hpp"
 #include "crypto/drbg.hpp"
 #include "crypto/hmac.hpp"
 #include "crypto/poly1305.hpp"
@@ -57,6 +58,46 @@ TEST(Sha256, UpdateAfterFinishThrows) {
 }
 
 // --- HMAC-SHA256 (RFC 4231 vectors) ------------------------------------------
+
+// --- constant-time primitives (crypto/ct.hpp) -------------------------------
+
+TEST(Ct, Equal) {
+  EXPECT_TRUE(ct_equal(str_to_bytes("abc"), str_to_bytes("abc")));
+  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("abd")));
+  EXPECT_FALSE(ct_equal(str_to_bytes("abc"), str_to_bytes("ab")));
+  EXPECT_TRUE(ct_equal({}, {}));
+  // Single-bit differences at every position are caught.
+  Bytes a(64, 0x5a), b(64, 0x5a);
+  EXPECT_TRUE(ct_equal(a, b));
+  for (std::size_t i = 0; i < b.size(); ++i) {
+    b[i] ^= 0x01;
+    EXPECT_FALSE(ct_equal(a, b)) << i;
+    b[i] ^= 0x01;
+  }
+}
+
+TEST(Ct, IsZeroAndSelect) {
+  EXPECT_TRUE(ct_is_zero({}));
+  EXPECT_TRUE(ct_is_zero(Bytes(32, 0x00)));
+  Bytes nz(32, 0x00);
+  nz[31] = 0x80;
+  EXPECT_FALSE(ct_is_zero(nz));
+  EXPECT_EQ(ct_select_u8(1, 0xaa, 0x55), 0xaa);
+  EXPECT_EQ(ct_select_u8(0, 0xaa, 0x55), 0x55);
+  EXPECT_EQ(ct_select_u8(0xff, 0xaa, 0x55), 0xaa);
+}
+
+TEST(Hmac, VerifyRoutesThroughCtEqual) {
+  const Bytes key = str_to_bytes("Jefe");
+  const Bytes data = str_to_bytes("what do ya want for nothing?");
+  Bytes mac = hmac_sha256(key, data);
+  EXPECT_TRUE(hmac_verify(key, data, mac));
+  mac[0] ^= 0x01;
+  EXPECT_FALSE(hmac_verify(key, data, mac));
+  mac[0] ^= 0x01;
+  mac.pop_back();
+  EXPECT_FALSE(hmac_verify(key, data, mac));  // truncated MACs never pass
+}
 
 TEST(Hmac, Rfc4231Case1) {
   const Bytes key(20, 0x0b);

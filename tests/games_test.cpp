@@ -27,12 +27,9 @@ using pairing::Pairing;
 class HveGameTest : public ::testing::Test {
  protected:
   static constexpr std::size_t kWidth = 8;
-  pbe::HveKeys keys_ = pbe::hve_setup(Pairing::test_pairing(), kWidth,
-                                      *(rng_ = new TestRng(0x6a3e)));
-  static TestRng* rng_;
-  void TearDown() override {}
+  TestRng rng_{0x6a3e};  // declared before keys_: needed for its init
+  pbe::HveKeys keys_ = pbe::hve_setup(Pairing::test_pairing(), kWidth, rng_);
 };
-TestRng* HveGameTest::rng_ = nullptr;
 
 TEST_F(HveGameTest, LegalTokensCannotSeparateChallengeVectors) {
   TestRng rng(0x91);

@@ -76,6 +76,85 @@ TEST(Messages, ClearGuidMustBeExactly16Bytes) {
   EXPECT_THROW(read_content(r), std::invalid_argument);
 }
 
+// Malformed-frame regressions distilled from the fuzz corpus
+// (fuzz/corpus/frames/): every shape an attacker can put on the wire must
+// be rejected with an exception the channel loop catches — never a crash,
+// hang, or unbounded allocation.
+
+TEST(Messages, TruncatedTaggedBodyRejected) {
+  // fuzz seed truncated_tagged.bin: length prefix promises 100 bytes,
+  // only 5 follow.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kTokenRequest));
+  w.u64(1);
+  w.u32(100);
+  w.raw(str_to_bytes("short"));
+  Reader r(w.data());
+  EXPECT_EQ(read_frame_type(r), FrameType::kTokenRequest);
+  EXPECT_THROW(read_tagged(r), std::out_of_range);
+  // Tag alone, no payload length at all.
+  Writer w2;
+  w2.u64(7);
+  Reader r2(w2.data());
+  EXPECT_THROW(read_tagged(r2), std::out_of_range);
+}
+
+TEST(Messages, OversizedLengthPrefixRejectedWithoutAllocating) {
+  // fuzz seed oversized_len.bin: a 4 GiB length claim on a tiny frame. The
+  // bounds check must fire on `remaining()`, before any allocation of the
+  // claimed size is attempted.
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kPublishContent));
+  w.u8(0);
+  w.u32(0xffffffffu);
+  Reader r(w.data());
+  EXPECT_EQ(read_frame_type(r), FrameType::kPublishContent);
+  EXPECT_THROW(read_content(r), std::out_of_range);
+}
+
+TEST(Messages, TypeConfusedBodyRejected) {
+  // fuzz seed type_confused.bin: a valid *tagged* body sent under a
+  // *content* frame type, and vice versa. The wrong decoder must throw
+  // rather than misinterpret.
+  // (The precise exception depends on where the misparse trips; the channel
+  // loop catches std::exception, so that is the contract asserted.)
+  const Bytes tagged =
+      tagged_frame(FrameType::kContentRequest, 7, str_to_bytes("blob"));
+  Reader r(BytesView(tagged).subspan(1));  // skip type byte, keep body
+  EXPECT_THROW(read_content(r), std::exception);
+
+  ContentBody body;
+  body.guid_wrapped = false;
+  body.guid_field = Bytes(Guid::kSize, 0xaa);
+  body.ttl_seconds = 1.0;
+  const Bytes content = content_body(body);
+  Reader r2(content);
+  EXPECT_THROW(read_tagged(r2), std::exception);
+}
+
+TEST(Messages, TruncatedContentBodyRejected) {
+  TestRng rng(5);
+  ContentBody body;
+  body.guid_wrapped = false;
+  body.guid_field = Guid::random(rng).to_bytes();
+  body.ttl_seconds = 2.5;
+  body.abe_ciphertext = rng.bytes(32);
+  const Bytes wire = content_body(body);
+  // Every proper prefix must throw; none may crash or succeed.
+  for (std::size_t cut = 0; cut < wire.size(); ++cut) {
+    Reader r(BytesView(wire).first(cut));
+    EXPECT_THROW(read_content(r), std::exception) << cut;
+  }
+}
+
+TEST(Messages, TrailingGarbageAfterBodyRejected) {
+  Bytes wire = tagged_frame(FrameType::kAraResponse, 3, str_to_bytes("ok"));
+  wire.push_back(0x00);
+  Reader r(wire);
+  EXPECT_EQ(read_frame_type(r), FrameType::kAraResponse);
+  EXPECT_THROW(read_tagged(r), std::invalid_argument);
+}
+
 TEST(Messages, CertificateRoundTripAndTamperDetection) {
   const auto pp = pairing::Pairing::test_pairing();
   TestRng rng(3);

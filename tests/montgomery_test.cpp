@@ -78,6 +78,35 @@ TEST(Montgomery, PowEdgeCases) {
   EXPECT_THROW(mont.pow(BigInt{2}, BigInt{-1}), std::invalid_argument);
 }
 
+// Moduli with the top bit of the top limb set maximize the transient carry
+// limb t[k] in CIOS and make the final conditional subtraction load-bearing
+// — the shape where a dropped carry or a shift-width slip in the reduction
+// loop shows up. Checked against the plain mod(a*b, n) reference.
+TEST(Montgomery, TopBitSetModuliCarryLimb) {
+  TestRng rng(67);
+  for (const char* hex : {"ffffffffffffffc5",                    // 1 limb, max
+                          "e3779b97f4a7c15f",                    // 1 limb
+                          "ffffffffffffffffffffffffffffff61",    // 2 limbs, max
+                          "ffffffffffffffffffffffffffffffffffffffffffffff13"}) {
+    const BigInt n = BigInt::from_hex(hex);
+    const Montgomery mont(n);
+    const BigInt nm1 = n - BigInt{1};
+    // (n-1)^2 mod n == 1: the largest representable operands.
+    EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(nm1), mont.to_mont(nm1))),
+              BigInt{1})
+        << hex;
+    for (int i = 0; i < 50; ++i) {
+      const BigInt a = BigInt::random_below(rng, n);
+      const BigInt b = BigInt::random_below(rng, n);
+      EXPECT_EQ(mont.from_mont(mont.mul(mont.to_mont(a), mont.to_mont(b))),
+                mod(a * b, n))
+          << hex;
+    }
+    EXPECT_EQ(mont.pow(BigInt{2}, BigInt{}), BigInt{1}) << hex;
+    EXPECT_EQ(mont.pow(nm1, BigInt{2}), BigInt{1}) << hex;
+  }
+}
+
 TEST(Montgomery, FermatViaMontgomery) {
   TestRng rng(66);
   const BigInt p = random_prime(rng, 320);

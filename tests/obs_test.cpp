@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/probe.hpp"
 #include "obs/catalog.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -305,6 +306,33 @@ TEST(ObsCatalog, GlobalRegistryIsPreRegistered) {
     if (m.name == names::kPubPublishTotal) found = true;
   }
   EXPECT_TRUE(found);
+}
+
+// The common/probe.hpp seam: linking obs installs a sink that routes
+// primitive-layer probe events (the pairing stack's, in production) into
+// the global registry's catalogued instruments.
+TEST(ObsProbeSeam, ProbeEventsLandInGlobalRegistry) {
+  Registry& reg = Registry::global();
+  ASSERT_NE(probe::sink(), nullptr);  // installed at load via metrics.cpp
+
+  Histogram& hist = reg.histogram(names::kCryptoPairSeconds);
+  Counter& ctr = reg.counter(names::kCryptoG1FixedBaseTotal);
+  const std::uint64_t hist_before = hist.count();
+  const std::uint64_t ctr_before = ctr.value();
+
+  const std::size_t hist_id = probe::intern(names::kCryptoPairSeconds);
+  const std::size_t ctr_id = probe::intern(names::kCryptoG1FixedBaseTotal);
+  probe::observe(hist_id, 0.25);
+  probe::add(ctr_id, 3);
+  {
+    probe::ScopedTimer timer(hist_id);
+  }
+
+  EXPECT_EQ(hist.count(), hist_before + 2);
+  EXPECT_EQ(ctr.value(), ctr_before + 3);
+
+  // Re-interning the same spelling returns the same id.
+  EXPECT_EQ(probe::intern(names::kCryptoPairSeconds), hist_id);
 }
 
 }  // namespace

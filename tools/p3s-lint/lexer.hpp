@@ -1,0 +1,156 @@
+// Minimal C++ lexer for p3s-lint: splits a translation unit into identifier,
+// punctuation, string-literal and comment tokens with line numbers. No
+// preprocessing, no libclang — just enough lexical structure for the rule
+// checks (include directives, call sites, comparisons, string literals,
+// suppression comments) to work on real code without matching inside
+// comments or strings.
+#pragma once
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace p3s::lint {
+
+enum class Tok {
+  kIdent,    // identifiers and keywords
+  kNumber,   // numeric literals (pp-numbers, good enough)
+  kString,   // "..." (text holds the body, quotes stripped)
+  kChar,     // '...'
+  kPunct,    // one operator/punctuator per token (==, !=, ::, ...)
+  kComment,  // // or /* */ (text holds the body)
+};
+
+struct Token {
+  Tok kind;
+  std::string text;
+  int line;
+};
+
+inline bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+inline bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenize `src`. Never throws on malformed input; unterminated literals
+/// simply run to end of file. Comments are kept as tokens so the caller can
+/// honor suppression annotations.
+inline std::vector<Token> tokenize(std::string_view src) {
+  std::vector<Token> out;
+  int line = 1;
+  std::size_t i = 0;
+  const std::size_t n = src.size();
+  auto peek = [&](std::size_t k) -> char {
+    return i + k < n ? src[i + k] : '\0';
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    // Comments.
+    if (c == '/' && peek(1) == '/') {
+      const std::size_t start = i + 2;
+      while (i < n && src[i] != '\n') ++i;
+      out.push_back({Tok::kComment, std::string(src.substr(start, i - start)),
+                     line});
+      continue;
+    }
+    if (c == '/' && peek(1) == '*') {
+      const int start_line = line;
+      const std::size_t start = i + 2;
+      i += 2;
+      while (i < n && !(src[i] == '*' && peek(1) == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      out.push_back({Tok::kComment,
+                     std::string(src.substr(start, i - start)), start_line});
+      if (i < n) i += 2;  // closing */
+      continue;
+    }
+    // Raw string literal R"delim(...)delim".
+    if (c == 'R' && peek(1) == '"') {
+      std::size_t j = i + 2;
+      std::string delim;
+      while (j < n && src[j] != '(') delim.push_back(src[j++]);
+      const std::string close = ")" + delim + "\"";
+      const std::size_t body = j + 1;
+      const std::size_t end = src.find(close, body);
+      const int start_line = line;
+      const std::size_t stop = end == std::string_view::npos ? n : end;
+      for (std::size_t k = i; k < stop; ++k) {
+        if (src[k] == '\n') ++line;
+      }
+      out.push_back({Tok::kString,
+                     std::string(src.substr(body, stop - body)), start_line});
+      i = end == std::string_view::npos ? n : end + close.size();
+      continue;
+    }
+    // String / char literals (with escape handling).
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      const int start_line = line;
+      std::size_t j = i + 1;
+      std::string body;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) {
+          body.push_back(src[j]);
+          body.push_back(src[j + 1]);
+          j += 2;
+          continue;
+        }
+        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
+        body.push_back(src[j++]);
+      }
+      out.push_back({quote == '"' ? Tok::kString : Tok::kChar, body,
+                     start_line});
+      i = j < n ? j + 1 : n;
+      continue;
+    }
+    if (ident_start(c)) {
+      std::size_t j = i;
+      while (j < n && ident_char(src[j])) ++j;
+      out.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      std::size_t j = i;
+      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
+                       ((src[j] == '+' || src[j] == '-') && j > i &&
+                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
+                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
+        ++j;
+      }
+      out.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line});
+      i = j;
+      continue;
+    }
+    // Punctuation: greedily take the few multi-char operators the rules care
+    // about; everything else is a single character.
+    static constexpr std::string_view kTwo[] = {"==", "!=", "::", "->", "<=",
+                                                ">=", "&&", "||", "<<", ">>"};
+    std::string p(1, c);
+    for (const auto& two : kTwo) {
+      if (c == two[0] && peek(1) == two[1]) {
+        p = two;
+        break;
+      }
+    }
+    out.push_back({Tok::kPunct, p, line});
+    i += p.size();
+  }
+  return out;
+}
+
+}  // namespace p3s::lint

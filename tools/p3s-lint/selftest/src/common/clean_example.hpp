@@ -1,0 +1,12 @@
+// Clean fixture: ordinary code in a non-secret module must produce zero
+// findings — == on non-secret names, strings that merely resemble metric
+// names ("p3s-chan" has no dot), and the word memcmp in a comment are all
+// fine.
+#pragma once
+
+#include <cstddef>
+
+inline bool fixture_clean(std::size_t size, std::size_t expected_size) {
+  const char* label = "p3s-chan";
+  return size == expected_size && label != nullptr;
+}

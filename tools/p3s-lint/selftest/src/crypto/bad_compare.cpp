@@ -1,0 +1,11 @@
+// Seeded violations: secret-bearing modules must compare tags through
+// ct_equal, never memcmp or early-exit ==. The last compare demonstrates a
+// deliberate, annotated exception.
+#include <cstring>
+
+bool fixture_compare(const unsigned char* tag, const unsigned char* expected) {
+  if (std::memcmp(tag, expected, 16) == 0) return true;  // <- secret-compare
+  if (tag == expected) return true;                      // <- secret-compare
+  // p3s:lint-allow(secret-compare) pointer identity only, not tag bytes
+  return tag != expected;
+}

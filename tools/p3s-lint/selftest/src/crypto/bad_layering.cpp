@@ -1,0 +1,5 @@
+// Seeded violation: crypto is a hermetic primitive layer and may not reach
+// into the network module.
+#include "net/network.hpp"  // <- layering finding
+
+void fixture_layering() {}

@@ -1,0 +1,8 @@
+// Fixture catalogue: declares two names, only one of which the fixture
+// OBSERVABILITY.md documents.
+#pragma once
+
+namespace p3s::obs::names {
+inline constexpr char kTestDocumented[] = "p3s.test.documented";
+inline constexpr char kTestUndocumented[] = "p3s.test.undocumented";
+}  // namespace p3s::obs::names

@@ -1,0 +1,12 @@
+// Seeded violations: libc randomness, unbounded formatting, and wall-clock
+// seeding are banned everywhere under src/.
+#include <cstdio>
+#include <cstdlib>
+#include <ctime>
+
+int fixture_banned() {
+  char buf[16];
+  std::sprintf(buf, "%d", 42);        // <- banned-api finding (sprintf)
+  std::srand(42);                     // <- banned-api finding (srand)
+  return static_cast<int>(time(nullptr));  // <- banned-api finding (seed)
+}

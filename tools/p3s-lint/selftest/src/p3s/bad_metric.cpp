@@ -1,0 +1,7 @@
+// Seeded violations: one metric name missing from the catalogue, one
+// declared but undocumented. The documented name is clean.
+const char* fixture_metrics[] = {
+    "p3s.test.unknown",       // <- metric-vocab finding (not in catalog.hpp)
+    "p3s.test.undocumented",  // <- metric-vocab finding (not in the docs)
+    "p3s.test.documented",    // clean
+};

@@ -1,0 +1,3 @@
+// Seeded violation: module 'widget' has no row in the layering DAG, which
+// must itself be a finding so the table cannot fall out of date silently.
+#pragma once

@@ -7,13 +7,21 @@
 // Fault injection hooks cover the §6.1 robustness discussion: "participants
 // can detect if network failures cause message loss at the application
 // level" and the slow-consumer/deletion races behind the T_G grace period.
+// Beyond the manual drop_next/set_reorder knobs, a seeded net::FaultPlan
+// drives probabilistic per-link drop/duplicate/reorder/delay and endpoint
+// blackout windows — every chaos schedule is replayable from its seed.
+// Without a plan installed the behavior (and the tick sequence) is exactly
+// the pre-fault-plan network.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "net/fault.hpp"
 #include "net/network.hpp"
 
 namespace p3s::net {
@@ -30,7 +38,8 @@ class AsyncNetwork final : public Network {
   void advance(std::uint64_t ticks) { tick_ += ticks; }
 
   /// Deliver one in-flight frame (oldest first; newest first when
-  /// reordering is on). Returns false when nothing is in flight.
+  /// reordering is on; earliest deliver_at first under a FaultPlan).
+  /// Returns false when nothing is in flight.
   bool pump_one();
 
   /// Deliver until the queue drains (frames sent during delivery are also
@@ -47,14 +56,30 @@ class AsyncNetwork final : public Network {
   /// Deliver newest-first (adversarial reordering) while enabled.
   void set_reorder(bool on) { reorder_ = on; }
 
+  /// Install a seeded fault schedule; all probabilistic faults (and their
+  /// replayability) come from the plan. clear_fault_plan() restores the
+  /// exact legacy delivery order.
+  void set_fault_plan(FaultPlan plan) { plan_ = std::move(plan); }
+  void clear_fault_plan() { plan_.reset(); }
+  /// Mutable access so a running chaos harness can add blackout windows at
+  /// the current network time. nullptr when no plan is installed.
+  FaultPlan* fault_plan() { return plan_.has_value() ? &*plan_ : nullptr; }
+
+  /// Every frame lost for any reason (drop_next, plan drop, blackout).
+  /// All of them were recorded in the traffic log first.
   std::size_t dropped_frames() const { return dropped_; }
+  /// Per-link loss counter for the same events.
+  std::size_t dropped_on(const std::string& from, const std::string& to) const;
 
  private:
   struct InFlight {
     std::string from;
     std::string to;
     Bytes frame;
+    std::uint64_t deliver_at = 0;
   };
+
+  void count_drop(const std::string& from, const std::string& to);
 
   std::map<std::string, Handler> endpoints_;
   std::deque<InFlight> queue_;
@@ -62,6 +87,8 @@ class AsyncNetwork final : public Network {
   std::size_t drop_remaining_ = 0;
   std::size_t dropped_ = 0;
   bool reorder_ = false;
+  std::optional<FaultPlan> plan_;
+  std::map<std::pair<std::string, std::string>, std::size_t> dropped_by_link_;
 };
 
 }  // namespace p3s::net

@@ -1,0 +1,73 @@
+#include "net/fault.hpp"
+
+#include <stdexcept>
+
+namespace p3s::net {
+
+namespace {
+// Probability resolution: 2^20 buckets is far below any probability a chaos
+// plan would meaningfully distinguish, and keeps the draw a single uniform().
+constexpr std::uint64_t kChanceBuckets = 1u << 20;
+}  // namespace
+
+void FaultPlan::set_link(const std::string& from, const std::string& to,
+                         LinkFaults faults) {
+  links_[{from, to}] = faults;
+}
+
+void FaultPlan::add_blackout(const std::string& endpoint, double from_time,
+                             double until_time) {
+  if (until_time < from_time) {
+    throw std::invalid_argument("FaultPlan: blackout window ends before start");
+  }
+  blackouts_.push_back({endpoint, from_time, until_time});
+}
+
+const LinkFaults& FaultPlan::faults_for(const std::string& from,
+                                        const std::string& to) const {
+  const auto it = links_.find({from, to});
+  return it != links_.end() ? it->second : default_;
+}
+
+bool FaultPlan::in_blackout(const std::string& endpoint, double time) const {
+  for (const BlackoutWindow& w : blackouts_) {
+    if (w.endpoint == endpoint && time >= w.from_time && time < w.until_time) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return rng_.uniform(kChanceBuckets) <
+         static_cast<std::uint64_t>(p * static_cast<double>(kChanceBuckets));
+}
+
+bool FaultPlan::should_drop(const std::string& from, const std::string& to) {
+  return chance(faults_for(from, to).drop);
+}
+
+bool FaultPlan::should_duplicate(const std::string& from,
+                                 const std::string& to) {
+  return chance(faults_for(from, to).duplicate);
+}
+
+bool FaultPlan::should_reorder(const std::string& from, const std::string& to) {
+  return chance(faults_for(from, to).reorder);
+}
+
+double FaultPlan::delay(const std::string& from, const std::string& to) {
+  const double max = faults_for(from, to).delay_max;
+  if (max <= 0.0) return 0.0;
+  return max * static_cast<double>(rng_.uniform(kChanceBuckets)) /
+         static_cast<double>(kChanceBuckets);
+}
+
+std::size_t FaultPlan::pick(std::size_t bound) {
+  if (bound == 0) throw std::invalid_argument("FaultPlan: pick(0)");
+  return static_cast<std::size_t>(rng_.uniform(bound));
+}
+
+}  // namespace p3s::net

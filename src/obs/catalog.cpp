@@ -137,6 +137,28 @@ void register_catalog(Registry& r) {
   r.counter(kExecStealsTotal, {}, "1", "tasks taken from another queue");
   r.counter(kExecParallelForTotal, {}, "1",
             "parallel_for / parallel_find invocations");
+
+  // Injected network faults.
+  r.counter(kNetFaultDroppedTotal, {}, "1",
+            "frames dropped by a FaultPlan drop decision");
+  r.counter(kNetFaultDuplicatedTotal, {}, "1",
+            "frames duplicated by a FaultPlan");
+  r.counter(kNetFaultDelayedTotal, {}, "1",
+            "frames given extra delivery delay by a FaultPlan");
+  r.counter(kNetFaultReorderedTotal, {}, "1",
+            "deliveries where another in-flight frame overtook the head");
+  r.counter(kNetFaultBlackoutDroppedTotal, {}, "1",
+            "frames lost to an endpoint blackout window");
+
+  // Reliable request layer.
+  r.counter(kClientRetryTotal, {}, "1",
+            "requests re-sent after a timeout (publish, token, fetch, sync)");
+  r.counter(kClientRetryExhaustedTotal, {}, "1",
+            "requests abandoned after the attempt cap (surfaced error)");
+  r.counter(kClientRetryReconnectsTotal, {}, "1",
+            "channel re-establishments triggered by repeated timeouts");
+  r.counter(kClientTimeoutTotal, {}, "1",
+            "request deadlines that expired without a response");
 }
 
 }  // namespace p3s::obs

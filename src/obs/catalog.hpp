@@ -14,6 +14,8 @@
 //   sim  discrete-event engine + simulated network
 //   crypto  pairing-stack primitives (Miller loops, scalar mult, GT exp)
 //   exec shared thread-pool execution layer (src/exec)
+//   net  injected network faults (src/net chaos hooks)
+//   client  reliable request layer shared by pub/sub clients
 #pragma once
 
 namespace p3s::obs {
@@ -130,6 +132,24 @@ inline constexpr char kExecInlineTotal[] = "p3s.exec.inline_total";
 inline constexpr char kExecStealsTotal[] = "p3s.exec.steals_total";
 inline constexpr char kExecParallelForTotal[] =
     "p3s.exec.parallel_for_total";
+
+// --- injected network faults (src/net FaultPlan; DESIGN.md "Reliability") --
+inline constexpr char kNetFaultDroppedTotal[] = "p3s.net.fault_dropped_total";
+inline constexpr char kNetFaultDuplicatedTotal[] =
+    "p3s.net.fault_duplicated_total";
+inline constexpr char kNetFaultDelayedTotal[] = "p3s.net.fault_delayed_total";
+inline constexpr char kNetFaultReorderedTotal[] =
+    "p3s.net.fault_reordered_total";
+inline constexpr char kNetFaultBlackoutDroppedTotal[] =
+    "p3s.net.fault_blackout_dropped_total";
+
+// --- reliable request layer (pub/sub clients; DESIGN.md "Reliability") -----
+inline constexpr char kClientRetryTotal[] = "p3s.client.retry_total";
+inline constexpr char kClientRetryExhaustedTotal[] =
+    "p3s.client.retry_exhausted_total";
+inline constexpr char kClientRetryReconnectsTotal[] =
+    "p3s.client.retry_reconnects_total";
+inline constexpr char kClientTimeoutTotal[] = "p3s.client.timeout_total";
 
 }  // namespace names
 

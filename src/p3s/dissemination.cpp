@@ -11,6 +11,14 @@
 namespace p3s::core {
 
 namespace {
+// Replay ring / idempotency caps: bounded memory under arbitrarily long
+// chaos runs. A subscriber that falls more than kMetaRingCap broadcasts
+// behind can no longer repair the gap by sync (same truncation any
+// non-durable broker exhibits); a publisher retrying a request evicted from
+// the done set would double-store, but stores are GUID-idempotent anyway.
+constexpr std::size_t kMetaRingCap = 1024;
+constexpr std::size_t kDoneCap = 4096;
+
 struct DsMetrics {
   obs::Registry& reg = obs::Registry::global();
   obs::Counter& publishes = reg.counter(obs::names::kDsPublishesTotal);
@@ -58,6 +66,14 @@ void DisseminationServer::crash_and_restart() {
   sessions_.clear();
   subscribers_.clear();
   publishers_.clear();
+  reliable_subs_.clear();
+  pending_stores_.clear();
+  done_requests_.clear();
+  done_order_.clear();
+  meta_ring_.clear();
+  meta_base_ = 0;
+  next_meta_index_ = 0;
+  ++incarnation_;
   DsMetrics& metrics = ds_metrics();
   metrics.sessions.set(0);
   metrics.subscribers.set(0);
@@ -71,6 +87,15 @@ void DisseminationServer::send_sealed(const std::string& to, BytesView inner) {
   w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
   w.bytes(it->second.seal(inner, rng_));
   network_.send(name_, to, w.take());
+}
+
+void DisseminationServer::mark_done(const Bytes& request_id) {
+  if (!done_requests_.insert(request_id).second) return;
+  done_order_.push_back(request_id);
+  while (done_order_.size() > kDoneCap) {
+    done_requests_.erase(done_order_.front());
+    done_order_.pop_front();
+  }
 }
 
 void DisseminationServer::on_frame(const std::string& from, BytesView data) {
@@ -104,10 +129,91 @@ void DisseminationServer::on_frame(const std::string& from, BytesView data) {
       handle_inner(from, *inner);
       return;
     }
+
+    if (type == FrameType::kStoreAck) {
+      handle_store_ack(from, r);
+      return;
+    }
     log_warn("ds") << "unexpected outer frame from " << from;
   } catch (const std::exception& e) {
     log_warn("ds") << "bad frame from " << from << ": " << e.what();
   }
+}
+
+void DisseminationServer::handle_store_ack(const std::string& from, Reader& r) {
+  if (from != rs_name_) return;  // only the RS acknowledges stores
+  const Bytes request_id = r.raw(kRequestIdSize);
+  r.expect_done();
+  const auto it = pending_stores_.find(request_id);
+  if (it == pending_stores_.end()) return;  // duplicate ack: already handled
+  PendingStore pending = std::move(it->second);
+  pending_stores_.erase(it);
+  mark_done(request_id);
+  // The payload is durably stored; now the broadcast cannot outrun it.
+  fan_out_metadata(pending.hve_ciphertext);
+  Writer ack;
+  ack.u8(static_cast<std::uint8_t>(FrameType::kPublishAck));
+  ack.raw(request_id);
+  send_sealed(pending.publisher, ack.data());
+}
+
+void DisseminationServer::fan_out_metadata(const Bytes& hve_ciphertext) {
+  DsMetrics& metrics = ds_metrics();
+  metrics.publishes.inc();
+  obs::ScopedTimer fanout_timer(metrics.reg, metrics.fanout_seconds,
+                                obs::names::kDsFanoutSeconds);
+  const std::uint64_t index = next_meta_index_++;
+  meta_ring_.push_back(hve_ciphertext);
+  while (meta_ring_.size() > kMetaRingCap) {
+    meta_ring_.pop_front();
+    ++meta_base_;
+  }
+  // Fan out to every registered subscriber; the DS cannot tell who (if
+  // anyone) will match — that is the point. The inner frame is serialized
+  // once per flavor (legacy / indexed); the per-session seals (AEAD over
+  // distinct session state) run in parallel into per-subscriber buffers.
+  // seal() consumes exactly one AEAD nonce from the RNG, so nonces are
+  // pre-drawn serially in subscriber order and replayed per task — the wire
+  // bytes are identical to the sequential loop for any pool size. Sends stay
+  // on this thread: net::Network is not thread-safe.
+  Writer legacy;
+  legacy.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
+  legacy.bytes(hve_ciphertext);
+  Writer indexed;
+  indexed.u8(static_cast<std::uint8_t>(FrameType::kMetadataDeliverySeq));
+  indexed.u64(index);
+  indexed.bytes(hve_ciphertext);
+  std::vector<const std::string*> subs;
+  std::vector<net::SecureSession*> sess;
+  std::vector<const Writer*> payloads;
+  subs.reserve(subscribers_.size());
+  sess.reserve(subscribers_.size());
+  payloads.reserve(subscribers_.size());
+  for (const std::string& sub : subscribers_) {
+    const auto it = sessions_.find(sub);
+    if (it == sessions_.end()) continue;  // no session: drop, as before
+    subs.push_back(&sub);
+    sess.push_back(&it->second);
+    payloads.push_back(reliable_subs_.contains(sub) ? &indexed : &legacy);
+  }
+  std::vector<Bytes> nonces;
+  nonces.reserve(subs.size());
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    nonces.push_back(rng_.bytes(crypto::ChaCha20::kNonceSize));
+  }
+  std::vector<Bytes> records(subs.size());
+  exec::Pool::global().parallel_for(0, subs.size(), [&](std::size_t i) {
+    ReplayRng nonce_rng(nonces[i]);
+    Writer w;
+    w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
+    w.bytes(sess[i]->seal(payloads[i]->data(), nonce_rng));
+    records[i] = w.take();
+  });
+  for (std::size_t i = 0; i < subs.size(); ++i) {
+    network_.send(name_, *subs[i], std::move(records[i]));
+  }
+  metrics.fanout.inc(subs.size());
+  metrics.fanout_batch.record(static_cast<double>(subscribers_.size()));
 }
 
 void DisseminationServer::handle_inner(const std::string& from,
@@ -119,11 +225,26 @@ void DisseminationServer::handle_inner(const std::string& from,
 
   DsMetrics& metrics = ds_metrics();
   switch (type) {
-    case FrameType::kRegisterSubscriber:
+    case FrameType::kRegisterSubscriber: {
       subscribers_.insert(from);
       metrics.subscribers.set(static_cast<std::int64_t>(subscribers_.size()));
-      send_sealed(from, frame(FrameType::kAck));
+      const bool reliable = !r.done() && r.u8() == 1;
+      if (!reliable) {
+        send_sealed(from, frame(FrameType::kAck));
+        return;
+      }
+      // Joined index: first registration pins where this subscriber's
+      // entitlement starts; re-registrations keep it so a repaired channel
+      // can still sync everything broadcast since joining.
+      const auto [it, inserted] =
+          reliable_subs_.try_emplace(from, next_meta_index_);
+      (void)inserted;
+      Writer ack;
+      ack.u64(incarnation_);
+      ack.u64(it->second);
+      send_sealed(from, frame(FrameType::kAck, ack.data()));
       return;
+    }
     case FrameType::kRegisterPublisher:
       publishers_.insert(from);
       metrics.publishers.set(static_cast<std::int64_t>(publishers_.size()));
@@ -133,6 +254,7 @@ void DisseminationServer::handle_inner(const std::string& from,
       subscribers_.erase(from);
       publishers_.erase(from);
       sessions_.erase(from);
+      reliable_subs_.erase(from);
       metrics.subscribers.set(static_cast<std::int64_t>(subscribers_.size()));
       metrics.publishers.set(static_cast<std::int64_t>(publishers_.size()));
       metrics.sessions.set(static_cast<std::int64_t>(sessions_.size()));
@@ -141,48 +263,7 @@ void DisseminationServer::handle_inner(const std::string& from,
       if (!publishers_.contains(from)) return;
       const Bytes hve_ct = r.bytes();
       r.expect_done();
-      metrics.publishes.inc();
-      obs::ScopedTimer fanout_timer(metrics.reg, metrics.fanout_seconds,
-                                    obs::names::kDsFanoutSeconds);
-      // Fan out to every registered subscriber; the DS cannot tell who (if
-      // anyone) will match — that is the point. The inner frame is
-      // serialized once; the per-session seals (AEAD over distinct session
-      // state) run in parallel into per-subscriber buffers. seal() consumes
-      // exactly one AEAD nonce from the RNG, so nonces are pre-drawn
-      // serially in subscriber order and replayed per task — the wire bytes
-      // are identical to the sequential loop for any pool size. Sends stay
-      // on this thread: net::Network is not thread-safe.
-      Writer fwd;
-      fwd.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
-      fwd.bytes(hve_ct);
-      std::vector<const std::string*> subs;
-      std::vector<net::SecureSession*> sess;
-      subs.reserve(subscribers_.size());
-      sess.reserve(subscribers_.size());
-      for (const std::string& sub : subscribers_) {
-        const auto it = sessions_.find(sub);
-        if (it == sessions_.end()) continue;  // no session: drop, as before
-        subs.push_back(&sub);
-        sess.push_back(&it->second);
-      }
-      std::vector<Bytes> nonces;
-      nonces.reserve(subs.size());
-      for (std::size_t i = 0; i < subs.size(); ++i) {
-        nonces.push_back(rng_.bytes(crypto::ChaCha20::kNonceSize));
-      }
-      std::vector<Bytes> records(subs.size());
-      exec::Pool::global().parallel_for(0, subs.size(), [&](std::size_t i) {
-        ReplayRng nonce_rng(nonces[i]);
-        Writer w;
-        w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
-        w.bytes(sess[i]->seal(fwd.data(), nonce_rng));
-        records[i] = w.take();
-      });
-      for (std::size_t i = 0; i < subs.size(); ++i) {
-        network_.send(name_, *subs[i], std::move(records[i]));
-      }
-      metrics.fanout.inc(subs.size());
-      metrics.fanout_batch.record(static_cast<double>(subscribers_.size()));
+      fan_out_metadata(hve_ct);
       return;
     }
     case FrameType::kPublishContent: {
@@ -191,6 +272,54 @@ void DisseminationServer::handle_inner(const std::string& from,
       network_.send(name_, rs_name_,
                     frame(FrameType::kStoreContent, content_body(body)));
       metrics.content_forwarded.inc();
+      return;
+    }
+    case FrameType::kPublishRequest: {
+      if (!publishers_.contains(from)) return;
+      PublishRequestBody body = read_publish_request(r);
+      if (done_requests_.contains(body.request_id)) {
+        // Retry of a completed publish: the store and fanout already
+        // happened; only the ack was lost. Re-ack, deliver nothing twice.
+        Writer ack;
+        ack.u8(static_cast<std::uint8_t>(FrameType::kPublishAck));
+        ack.raw(body.request_id);
+        send_sealed(from, ack.data());
+        return;
+      }
+      const auto [it, inserted] = pending_stores_.try_emplace(
+          body.request_id,
+          PendingStore{from, body.hve_ciphertext,
+                       frame(FrameType::kStoreRequest,
+                             store_request_body(
+                                 {body.request_id, body.content}))});
+      if (inserted) metrics.content_forwarded.inc();
+      // (Re-)forward the store; the RS overwrites by GUID so duplicates are
+      // harmless. On DirectNetwork the ack can arrive re-entrantly inside
+      // this send and erase the pending entry — do not touch `it` after.
+      Bytes store_frame = it->second.store_frame;
+      network_.send(name_, rs_name_, std::move(store_frame));
+      return;
+    }
+    case FrameType::kMetaSyncRequest: {
+      if (!subscribers_.contains(from) || !reliable_subs_.contains(from)) {
+        return;  // stale/unregistered: the client's reconnect path recovers
+      }
+      const std::uint64_t from_index = r.u64();
+      r.expect_done();
+      const std::uint64_t start = std::max(from_index, meta_base_);
+      for (std::uint64_t i = start; i < next_meta_index_; ++i) {
+        Writer replay;
+        replay.u8(static_cast<std::uint8_t>(FrameType::kMetadataDeliverySeq));
+        replay.u64(i);
+        replay.bytes(meta_ring_[static_cast<std::size_t>(i - meta_base_)]);
+        send_sealed(from, replay.data());
+        metrics.fanout.inc();
+      }
+      Writer info;
+      info.u8(static_cast<std::uint8_t>(FrameType::kMetaSyncInfo));
+      info.u64(incarnation_);
+      info.u64(next_meta_index_);
+      send_sealed(from, info.data());
       return;
     }
     default:

@@ -2,14 +2,24 @@
 // ("TLS tunnels") to publishers and subscribers, fans PBE-encrypted metadata
 // out to every registered subscriber, and forwards CP-ABE-encrypted payloads
 // to the RS. Sees only ciphertext and sizes (curious log asserts this).
+//
+// Reliable path (DESIGN.md "Reliability"): a kPublishRequest is stored on
+// the RS first (kStoreRequest/kStoreAck) and only then fanned out and acked
+// back to the publisher, keyed by the publisher's request id so retries are
+// idempotent. Broadcasts get a per-incarnation sequence index and are kept
+// in a bounded replay ring so reliable subscribers can repair gaps with
+// kMetaSyncRequest.
 #pragma once
 
+#include <cstdint>
+#include <deque>
 #include <map>
 #include <optional>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "common/serial.hpp"
 #include "net/network.hpp"
 #include "net/secure.hpp"
 #include "pairing/ecies.hpp"
@@ -32,6 +42,8 @@ class DisseminationServer {
 
   std::size_t subscriber_count() const { return subscribers_.size(); }
   std::size_t publisher_count() const { return publishers_.size(); }
+  /// Publish requests stored on the RS but not yet acknowledged.
+  std::size_t pending_store_count() const { return pending_stores_.size(); }
 
   /// Curious log: per-source frame sizes. The privacy tests check that no
   /// plaintext metadata/payload/interest ever reaches the DS.
@@ -42,16 +54,29 @@ class DisseminationServer {
   };
   const std::vector<Observation>& observations() const { return observations_; }
 
-  /// Simulate a crash: drop all sessions and registrations (long-term key
-  /// survives, as it would on disk). Clients must re-register (paper §6.1:
-  /// "A restarted DS needs to wait for subscribers and publishers to
-  /// (re)register").
+  /// Simulate a crash: drop all sessions, registrations, the metadata replay
+  /// ring, and in-flight publish state (long-term key survives, as it would
+  /// on disk). Clients must re-register (paper §6.1: "A restarted DS needs
+  /// to wait for subscribers and publishers to (re)register"); the bumped
+  /// incarnation tells reliable subscribers their sequence space reset.
   void crash_and_restart();
 
  private:
+  struct PendingStore {
+    std::string publisher;
+    Bytes hve_ciphertext;
+    Bytes store_frame;  // re-forwarded verbatim on publisher retry
+  };
+
   void on_frame(const std::string& from, BytesView frame);
   void handle_inner(const std::string& from, BytesView inner);
   void send_sealed(const std::string& to, BytesView inner);
+  /// Assign the next broadcast index, append to the replay ring, seal in
+  /// parallel (legacy frame for fire-and-forget subscribers, indexed frame
+  /// for reliable ones) and send to every registered subscriber.
+  void fan_out_metadata(const Bytes& hve_ciphertext);
+  void handle_store_ack(const std::string& from, Reader& r);
+  void mark_done(const Bytes& request_id);
 
   net::Network& network_;
   std::string name_;
@@ -63,6 +88,21 @@ class DisseminationServer {
   std::set<std::string> subscribers_;
   std::set<std::string> publishers_;
   std::vector<Observation> observations_;
+
+  // --- reliable-layer state ------------------------------------------------
+  // Incarnation is a restart counter, not a secret: it only has to differ
+  // across crash_and_restart() calls on this instance so reliable
+  // subscribers can detect the sequence-space reset. (A production DS would
+  // persist or randomize it; drawing from rng_ here would shift the shared
+  // test RNG stream and break wire-level determinism pins.)
+  std::uint64_t incarnation_ = 1;
+  std::uint64_t next_meta_index_ = 0;
+  std::uint64_t meta_base_ = 0;
+  std::deque<Bytes> meta_ring_;  // hve ciphertexts [meta_base_, next index)
+  std::map<std::string, std::uint64_t> reliable_subs_;  // name → joined index
+  std::map<Bytes, PendingStore> pending_stores_;
+  std::set<Bytes> done_requests_;
+  std::deque<Bytes> done_order_;  // FIFO eviction for done_requests_
 };
 
 }  // namespace p3s::core

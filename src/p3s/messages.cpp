@@ -6,7 +6,7 @@ namespace p3s::core {
 
 FrameType read_frame_type(Reader& r) {
   const std::uint8_t t = r.u8();
-  if (t < 1 || t > 18) throw std::invalid_argument("unknown frame type");
+  if (t < 1 || t > 25) throw std::invalid_argument("unknown frame type");
   return static_cast<FrameType>(t);
 }
 
@@ -42,6 +42,50 @@ Bytes content_body(const ContentBody& c) {
   w.u64(static_cast<std::uint64_t>(c.ttl_seconds * 1000.0));  // ms precision
   w.bytes(c.abe_ciphertext);
   return w.take();
+}
+
+// The content body is nested length-prefixed inside the reliable-layer
+// bodies so read_content()'s whole-buffer check keeps holding on its slice.
+Bytes publish_request_body(const PublishRequestBody& b) {
+  if (b.request_id.size() != kRequestIdSize) {
+    throw std::invalid_argument("PublishRequestBody: bad request id size");
+  }
+  Writer w;
+  w.raw(b.request_id);
+  w.bytes(content_body(b.content));
+  w.bytes(b.hve_ciphertext);
+  return w.take();
+}
+
+PublishRequestBody read_publish_request(Reader& r) {
+  PublishRequestBody b;
+  b.request_id = r.raw(kRequestIdSize);
+  const Bytes content = r.bytes();
+  b.hve_ciphertext = r.bytes();
+  r.expect_done();
+  Reader cr(content);
+  b.content = read_content(cr);
+  return b;
+}
+
+Bytes store_request_body(const StoreRequestBody& b) {
+  if (b.request_id.size() != kRequestIdSize) {
+    throw std::invalid_argument("StoreRequestBody: bad request id size");
+  }
+  Writer w;
+  w.raw(b.request_id);
+  w.bytes(content_body(b.content));
+  return w.take();
+}
+
+StoreRequestBody read_store_request(Reader& r) {
+  StoreRequestBody b;
+  b.request_id = r.raw(kRequestIdSize);
+  const Bytes content = r.bytes();
+  r.expect_done();
+  Reader cr(content);
+  b.content = read_content(cr);
+  return b;
 }
 
 ContentBody read_content(Reader& r) {

@@ -40,7 +40,25 @@ enum class FrameType : std::uint8_t {
   kAraResponse = 17,            // {tag, AEAD_Ks(status ++ credentials)}
   // --- clean departure (inner frame on the DS channel) ---
   kUnregister = 18,             // client → DS: remove my registration
+  // --- reliable request layer (DESIGN.md "Reliability") ---
+  // Inner frames on the DS channel unless noted. The reliable publish path
+  // replaces the fire-and-forget kPublishContent/kPublishMetadata pair with
+  // one request the publisher may retry: the DS stores first (kStoreRequest
+  // to the RS, plain LAN frame like kStoreContent), fans the metadata out
+  // only after the RS acknowledged, then acks the publisher — so a metadata
+  // match can never race an unstored payload.
+  kPublishRequest = 19,   // pub → DS: {request_id}{content body}{hve ct}
+  kPublishAck = 20,       // DS → pub: {request_id}
+  kMetadataDeliverySeq = 21,  // DS → sub: {u64 index}{hve ct}
+  kMetaSyncRequest = 22,  // sub → DS: {u64 from_index} (gap repair/heartbeat)
+  kMetaSyncInfo = 23,     // DS → sub: {u64 incarnation}{u64 next_index}
+  kStoreRequest = 24,     // DS → RS (LAN): {request_id}{content body}
+  kStoreAck = 25,         // RS → DS (LAN): {request_id}
 };
+
+/// Idempotency key for reliable publish/store: fixed-size random id drawn by
+/// the publisher, echoed through DS → RS → DS → publisher acks.
+inline constexpr std::size_t kRequestIdSize = 16;
 
 /// Frame header parse: returns the type and leaves `r` positioned at the
 /// body. Throws on truncated input or unknown type.
@@ -70,6 +88,24 @@ struct ContentBody {
 };
 Bytes content_body(const ContentBody& c);
 ContentBody read_content(Reader& r);
+
+// kPublishRequest body: the idempotency key, the content submission, and the
+// HVE metadata ciphertext in one frame (retried atomically).
+struct PublishRequestBody {
+  Bytes request_id;  // kRequestIdSize bytes
+  ContentBody content;
+  Bytes hve_ciphertext;
+};
+Bytes publish_request_body(const PublishRequestBody& b);
+PublishRequestBody read_publish_request(Reader& r);
+
+// kStoreRequest body: acknowledged variant of kStoreContent.
+struct StoreRequestBody {
+  Bytes request_id;  // kRequestIdSize bytes
+  ContentBody content;
+};
+Bytes store_request_body(const StoreRequestBody& b);
+StoreRequestBody read_store_request(Reader& r);
 
 // Status bytes inside AEAD-protected responses.
 inline constexpr std::uint8_t kStatusOk = 0;

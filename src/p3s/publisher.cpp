@@ -28,6 +28,13 @@ struct PubMetrics {
   obs::Histogram& batch_items = reg.histogram(obs::names::kPubBatchItems);
   obs::Histogram& batch_seconds =
       reg.histogram(obs::names::kPubBatchSeconds);
+  // Reliable request layer (shared p3s.client.* vocabulary).
+  obs::Counter& retry = reg.counter(obs::names::kClientRetryTotal);
+  obs::Counter& retry_exhausted =
+      reg.counter(obs::names::kClientRetryExhaustedTotal);
+  obs::Counter& reconnects =
+      reg.counter(obs::names::kClientRetryReconnectsTotal);
+  obs::Counter& timeouts = reg.counter(obs::names::kClientTimeoutTotal);
 };
 
 PubMetrics& pub_metrics() {
@@ -37,11 +44,13 @@ PubMetrics& pub_metrics() {
 }  // namespace
 
 Publisher::Publisher(net::Network& network, std::string name,
-                     PublisherCredentials credentials, Rng& rng)
+                     PublisherCredentials credentials, Rng& rng,
+                     ReliabilityConfig reliability)
     : network_(network),
       name_(std::move(name)),
       creds_(std::move(credentials)),
-      rng_(rng) {
+      rng_(rng),
+      reliability_(reliability) {
   network_.register_endpoint(
       name_, [this](const std::string& from, BytesView frame) {
         on_frame(from, frame);
@@ -68,6 +77,10 @@ void Publisher::connect() {
   w.bytes(hello);
   network_.send(name_, creds_.services.ds_name, w.take());
   send_sealed(frame(FrameType::kRegisterPublisher));
+  if (reliability_.enabled) {
+    register_deadline_ =
+        network_.now() + retry_timeout(reliability_, register_attempts_, rng_);
+  }
 }
 
 void Publisher::disconnect() {
@@ -87,9 +100,72 @@ void Publisher::on_frame(const std::string& from, BytesView data) {
     const auto inner = session_->open(record);
     if (!inner.has_value()) return;
     Reader ir(*inner);
-    if (read_frame_type(ir) == FrameType::kAck) connected_ = true;
+    const FrameType inner_type = read_frame_type(ir);
+    if (inner_type == FrameType::kAck) {
+      connected_ = true;
+      register_deadline_.reset();
+      register_attempts_ = 0;
+      return;
+    }
+    if (inner_type == FrameType::kPublishAck) {
+      const Bytes request_id = ir.raw(kRequestIdSize);
+      ir.expect_done();
+      pending_.erase(request_id);  // duplicate acks miss and are ignored
+    }
   } catch (const std::exception& e) {
     log_warn("pub:" + name_) << "bad frame from " << from << ": " << e.what();
+  }
+}
+
+void Publisher::poll() {
+  if (!reliability_.enabled) return;
+  const double now = network_.now();
+  PubMetrics& metrics = pub_metrics();
+
+  if (!connected_ && register_deadline_.has_value() &&
+      now >= *register_deadline_) {
+    metrics.timeouts.inc();
+    ++register_attempts_;
+    if (register_attempts_ >= reliability_.max_attempts) {
+      metrics.retry_exhausted.inc();
+      register_deadline_.reset();
+    } else {
+      metrics.retry.inc();
+      metrics.reconnects.inc();
+      ++retries_;
+      connect();  // fresh hello + register (also resets the deadline)
+    }
+  }
+
+  bool reconnected_this_poll = false;
+  for (auto it = pending_.begin(); it != pending_.end();) {
+    PendingPublish& p = it->second;
+    if (now < p.deadline) {
+      ++it;
+      continue;
+    }
+    metrics.timeouts.inc();
+    if (p.attempts >= reliability_.max_attempts) {
+      ++publish_failures_;
+      metrics.retry_exhausted.inc();
+      it = pending_.erase(it);
+      continue;
+    }
+    // Every reconnect_after-th attempt assumes the channel (not just the
+    // frame) is gone — e.g. the DS restarted and lost our registration —
+    // and re-establishes it before re-sending.
+    if (p.attempts % reliability_.reconnect_after == 0 &&
+        !reconnected_this_poll) {
+      metrics.reconnects.inc();
+      reconnected_this_poll = true;
+      connect();
+    }
+    ++p.attempts;
+    ++retries_;
+    metrics.retry.inc();
+    if (session_.has_value()) send_sealed(p.request_frame);
+    p.deadline = now + retry_timeout(reliability_, p.attempts - 1, rng_);
+    ++it;
   }
 }
 
@@ -129,24 +205,50 @@ Publisher::EncodedItem Publisher::encode_item(const pbe::Metadata& metadata,
   body.ttl_seconds = ttl_seconds;
   body.abe_ciphertext = abe_ct;
   EncodedItem out;
-  Writer content_frame;
-  content_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishContent));
-  content_frame.raw(content_body(body));
-  out.content_frame = content_frame.take();
+  out.content_body = content_body(body);
 
   // PBE-encrypt the GUID under the metadata vector for dissemination to all
   // subscribers (paper Fig. 4).
   const pbe::BitVector bits = creds_.schema.encode_metadata(stamped);
-  const Bytes hve_ct = [&] {
+  out.hve_ciphertext = [&] {
     obs::ScopedTimer t(metrics.reg, metrics.pbe_encrypt_seconds,
                        obs::names::kPubPbeEncryptSeconds);
     return pbe::hve_encrypt_bytes(creds_.hve_pk, bits, guid.to_bytes(), rng);
   }();
-  Writer meta_frame;
-  meta_frame.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
-  meta_frame.bytes(hve_ct);
-  out.meta_frame = meta_frame.take();
   return out;
+}
+
+void Publisher::submit_item(const EncodedItem& enc) {
+  if (!reliability_.enabled) {
+    // Fire-and-forget (base paper protocol). Content is submitted before
+    // the metadata broadcast so that a subscriber whose match races the
+    // store never misses (the paper's model takes max(t_p, t_b) for the
+    // same reason).
+    send_sealed(frame(FrameType::kPublishContent, enc.content_body));
+    Writer meta;
+    meta.u8(static_cast<std::uint8_t>(FrameType::kPublishMetadata));
+    meta.bytes(enc.hve_ciphertext);
+    send_sealed(meta.data());
+    return;
+  }
+  // Reliable: one retryable request carrying both halves; the DS broadcasts
+  // only after the RS acked the store, which closes the race structurally.
+  Writer req;
+  req.u8(static_cast<std::uint8_t>(FrameType::kPublishRequest));
+  req.raw(rng_.bytes(kRequestIdSize));
+  req.bytes(enc.content_body);
+  req.bytes(enc.hve_ciphertext);
+  const Bytes request_id(req.data().begin() + 1,
+                         req.data().begin() + 1 + kRequestIdSize);
+  PendingPublish pending;
+  pending.request_frame = req.take();
+  pending.deadline = network_.now() + retry_timeout(reliability_, 0, rng_);
+  // Register the pending entry before sending: on DirectNetwork the whole
+  // store→fanout→ack chain runs inline inside this send, and the ack must
+  // find the entry to erase.
+  const Bytes request_frame = pending.request_frame;
+  pending_.emplace(request_id, std::move(pending));
+  send_sealed(request_frame);
 }
 
 Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
@@ -161,11 +263,7 @@ Guid Publisher::publish(const pbe::Metadata& metadata, BytesView payload,
   const Guid guid = Guid::random(rng_);
   const EncodedItem enc = encode_item(metadata, payload, policy, ttl_seconds,
                                       guid, rng_, network_.now());
-  // Content is submitted before the metadata broadcast so that a subscriber
-  // whose match races the store never misses (the paper's model takes
-  // max(t_p, t_b) for the same reason).
-  send_sealed(enc.content_frame);
-  send_sealed(enc.meta_frame);
+  submit_item(enc);
   return guid;
 }
 
@@ -205,10 +303,7 @@ std::vector<Guid> Publisher::publish_batch(
   // Seals and sends stay serial and in item order: the channel's record
   // sequence numbers and net::Network are single-threaded state. Content
   // still precedes metadata per item, as in publish().
-  for (const EncodedItem& enc : encoded) {
-    send_sealed(enc.content_frame);
-    send_sealed(enc.meta_frame);
-  }
+  for (const EncodedItem& enc : encoded) submit_item(enc);
   return guids;
 }
 

@@ -2,8 +2,18 @@
 // who subscribes or whether anything matched: it PBE-encrypts the GUID under
 // the item's metadata, CP-ABE-encrypts (GUID, payload) under its access
 // policy, and hands both to the DS over the secure channel.
+//
+// With ReliabilityConfig.enabled the fire-and-forget submission becomes a
+// retried request: content + metadata travel in one kPublishRequest keyed by
+// a random request id, the DS acks only after the RS stored the payload, and
+// poll() re-sends past-deadline requests with capped exponential backoff
+// (re-establishing the channel after repeated timeouts — DS restart
+// re-registration). Retries are idempotent end to end: the DS dedupes by
+// request id, the RS overwrites by GUID.
 #pragma once
 
+#include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -11,6 +21,7 @@
 #include "net/network.hpp"
 #include "net/secure.hpp"
 #include "p3s/credentials.hpp"
+#include "p3s/reliability.hpp"
 
 namespace p3s::core {
 
@@ -25,7 +36,8 @@ struct PublishItem {
 class Publisher {
  public:
   Publisher(net::Network& network, std::string name,
-            PublisherCredentials credentials, Rng& rng);
+            PublisherCredentials credentials, Rng& rng,
+            ReliabilityConfig reliability = {});
   ~Publisher();
 
   /// Establish the DS channel and register as a publisher.
@@ -51,6 +63,11 @@ class Publisher {
   /// Returns the fresh GUIDs in item order.
   std::vector<Guid> publish_batch(const std::vector<PublishItem>& items);
 
+  /// Reliable-mode driver: re-send past-deadline publish requests and the
+  /// registration, with backoff + jitter from the client DRBG. Call it
+  /// whenever network time may have advanced. No-op when reliability is off.
+  void poll();
+
   /// Footnote-1 mitigation: super-encrypt the GUID in the content
   /// submission under the RS public key so eavesdroppers (and the DS)
   /// cannot learn it. Off by default to match the base paper protocol.
@@ -58,14 +75,28 @@ class Publisher {
 
   const std::string& name() const { return name_; }
 
+  // --- reliable-layer observable state ------------------------------------
+  /// Publishes not yet acknowledged by the DS.
+  std::size_t pending_publish_count() const { return pending_.size(); }
+  /// Publishes abandoned after max_attempts (the surfaced error the paper's
+  /// §6.1 "detect at the application level" asks for).
+  std::size_t publish_failures() const { return publish_failures_; }
+  std::size_t retries() const { return retries_; }
+
  private:
   struct EncodedItem {
-    Bytes content_frame;
-    Bytes meta_frame;
+    Bytes content_body;  // serialized ContentBody
+    Bytes hve_ciphertext;
+  };
+  struct PendingPublish {
+    Bytes request_frame;  // full kPublishRequest inner frame, re-sealed as is
+    double deadline = 0.0;
+    std::size_t attempts = 1;  // sends so far
   };
 
   void on_frame(const std::string& from, BytesView frame);
   void send_sealed(BytesView inner);
+  void submit_item(const EncodedItem& enc);
   /// The pure (sendless) per-item cryptography, shared by publish() and the
   /// batch path; safe to run concurrently for distinct items when each call
   /// gets its own Rng.
@@ -77,9 +108,16 @@ class Publisher {
   std::string name_;
   PublisherCredentials creds_;
   Rng& rng_;
+  ReliabilityConfig reliability_;
   std::optional<net::SecureSession> session_;
   bool connected_ = false;
   bool super_encrypt_guid_ = false;
+
+  std::map<Bytes, PendingPublish> pending_;
+  std::optional<double> register_deadline_;
+  std::size_t register_attempts_ = 0;
+  std::size_t publish_failures_ = 0;
+  std::size_t retries_ = 0;
 };
 
 }  // namespace p3s::core

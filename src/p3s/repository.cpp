@@ -71,8 +71,17 @@ void RepositoryServer::on_frame(const std::string& from, BytesView data) {
     const FrameType type = read_frame_type(r);
     sources_.push_back(from);
 
-    if (type == FrameType::kStoreContent) {
-      ContentBody body = read_content(r);
+    if (type == FrameType::kStoreContent ||
+        type == FrameType::kStoreRequest) {
+      Bytes request_id;
+      ContentBody body;
+      if (type == FrameType::kStoreRequest) {
+        StoreRequestBody req = read_store_request(r);
+        request_id = std::move(req.request_id);
+        body = std::move(req.content);
+      } else {
+        body = read_content(r);
+      }
       Guid guid;
       if (body.guid_wrapped) {
         // Footnote-1 mitigation: the GUID arrives under our public key.
@@ -90,9 +99,17 @@ void RepositoryServer::on_frame(const std::string& from, BytesView data) {
       metrics.stores.inc();
       metrics.stored_bytes.record(
           static_cast<double>(body.abe_ciphertext.size()));
+      // Overwrite by GUID: re-storing the same item (publisher/DS retry) is
+      // idempotent — one slot, refreshed expiry, never a second copy.
       store_[guid] = Item{std::move(body.abe_ciphertext),
                           network_.now() + body.ttl_seconds + grace_seconds_};
       metrics.items.set(static_cast<std::int64_t>(store_.size()));
+      if (!request_id.empty()) {
+        Writer ack;
+        ack.u8(static_cast<std::uint8_t>(FrameType::kStoreAck));
+        ack.raw(request_id);
+        network_.send(name_, from, ack.take());
+      }
       return;
     }
 

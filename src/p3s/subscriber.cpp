@@ -35,6 +35,13 @@ struct SubMetrics {
       reg.counter(obs::names::kSubTokenRejectionsTotal);
   obs::Counter& match_skipped_width =
       reg.counter(obs::names::kSubMatchSkippedWidth);
+  // Reliable request layer (shared p3s.client.* vocabulary).
+  obs::Counter& retry = reg.counter(obs::names::kClientRetryTotal);
+  obs::Counter& retry_exhausted =
+      reg.counter(obs::names::kClientRetryExhaustedTotal);
+  obs::Counter& reconnects =
+      reg.counter(obs::names::kClientRetryReconnectsTotal);
+  obs::Counter& timeouts = reg.counter(obs::names::kClientTimeoutTotal);
 };
 
 SubMetrics& sub_metrics() {
@@ -45,13 +52,14 @@ SubMetrics& sub_metrics() {
 
 Subscriber::Subscriber(net::Network& network, std::string name,
                        SubscriberCredentials credentials, Rng& rng,
-                       bool use_anonymizer)
+                       bool use_anonymizer, ReliabilityConfig reliability)
     : network_(network),
       name_(std::move(name)),
       creds_(std::move(credentials)),
       rng_(rng),
       use_anonymizer_(use_anonymizer &&
-                      !creds_.services.anonymizer_name.empty()) {
+                      !creds_.services.anonymizer_name.empty()),
+      reliability_(reliability) {
   network_.register_endpoint(
       name_, [this](const std::string& from, BytesView frame) {
         on_frame(from, frame);
@@ -77,7 +85,18 @@ void Subscriber::connect() {
   w.u8(static_cast<std::uint8_t>(FrameType::kChannelHello));
   w.bytes(hello);
   network_.send(name_, creds_.services.ds_name, w.take());
-  send_sealed(frame(FrameType::kRegisterSubscriber));
+  if (reliability_.enabled) {
+    // Reliable registration: the flag byte asks the DS for the sequenced
+    // metadata stream, and the ack carries (incarnation, joined index).
+    connected_ = false;
+    Writer reg;
+    reg.u8(1);
+    send_sealed(frame(FrameType::kRegisterSubscriber, reg.data()));
+    register_deadline_ =
+        network_.now() + retry_timeout(reliability_, register_attempts_, rng_);
+  } else {
+    send_sealed(frame(FrameType::kRegisterSubscriber));
+  }
 }
 
 void Subscriber::reconnect() { connect(); }
@@ -98,6 +117,11 @@ void Subscriber::disconnect() {
   send_sealed(frame(FrameType::kUnregister));
   session_.reset();
   connected_ = false;
+  // A clean departure is not a lost channel: stop the reliable machinery
+  // from re-registering or syncing behind the application's back.
+  register_deadline_.reset();
+  sync_deadline_.reset();
+  force_sync_ = false;
 }
 
 void Subscriber::refresh_tokens() {
@@ -176,8 +200,19 @@ void Subscriber::request_token(const pbe::Interest& interest) {
 
   const std::uint64_t tag = next_tag_++;
   pending_token_ks_[tag] = ks;
-  send_service_request(creds_.services.pbe_ts_name,
-                       tagged_frame(FrameType::kTokenRequest, tag, blob));
+  Bytes request = tagged_frame(FrameType::kTokenRequest, tag, blob);
+  if (reliability_.enabled) {
+    // Retries re-send the exact same bytes: same tag, same Ks, so a late
+    // first response and a retry response are interchangeable and the
+    // second one finds no pending Ks — deduplicated for free. Track before
+    // sending: on DirectNetwork the response arrives inside this call.
+    PendingRequest p;
+    p.request = request;
+    p.service = creds_.services.pbe_ts_name;
+    p.deadline = network_.now() + retry_timeout(reliability_, 0, rng_);
+    pending_token_requests_.emplace(tag, std::move(p));
+  }
+  send_service_request(creds_.services.pbe_ts_name, std::move(request));
 }
 
 void Subscriber::request_content(const Guid& guid) {
@@ -192,8 +227,112 @@ void Subscriber::request_content(const Guid& guid) {
                                             plain.data(), rng_);
   const std::uint64_t tag = next_tag_++;
   pending_content_ks_[tag] = ks;
-  send_service_request(creds_.services.rs_name,
-                       tagged_frame(FrameType::kContentRequest, tag, blob));
+  Bytes request = tagged_frame(FrameType::kContentRequest, tag, blob);
+  if (reliability_.enabled) {
+    PendingRequest p;
+    p.request = request;
+    p.service = creds_.services.rs_name;
+    p.deadline = network_.now() + retry_timeout(reliability_, 0, rng_);
+    pending_content_requests_.emplace(tag, std::move(p));
+  }
+  send_service_request(creds_.services.rs_name, std::move(request));
+}
+
+void Subscriber::request_metadata_replay(std::uint64_t from_index) {
+  if (!session_.has_value()) return;
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kMetaSyncRequest));
+  w.u64(from_index);
+  send_sealed(w.data());
+}
+
+void Subscriber::send_sync(double now) {
+  // Ask for the lowest known gap, or for "anything new" when gapless. The
+  // DS replays [from, its next) and finishes with kMetaSyncInfo, which is
+  // what actually reveals gaps (and restarts) to us.
+  const std::uint64_t from =
+      missing_meta_.empty() ? next_meta_index_ : *missing_meta_.begin();
+  Writer w;
+  w.u8(static_cast<std::uint8_t>(FrameType::kMetaSyncRequest));
+  w.u64(from);
+  send_sealed(w.data());
+  force_sync_ = false;
+  sync_deadline_ = now + retry_timeout(reliability_, sync_failures_, rng_);
+  next_heartbeat_ = now + reliability_.sync_interval;
+}
+
+void Subscriber::retry_requests(
+    std::map<std::uint64_t, PendingRequest>& pending, double now) {
+  SubMetrics& metrics = sub_metrics();
+  for (auto it = pending.begin(); it != pending.end();) {
+    PendingRequest& p = it->second;
+    if (now < p.deadline) {
+      ++it;
+      continue;
+    }
+    metrics.timeouts.inc();
+    if (p.attempts >= reliability_.max_attempts) {
+      // Surface the failure at the application level (§6.1) instead of
+      // retrying forever; the Ks entry stays so a very late response can
+      // still complete the request.
+      ++request_failures_;
+      metrics.retry_exhausted.inc();
+      it = pending.erase(it);
+      continue;
+    }
+    ++p.attempts;
+    ++retries_;
+    metrics.retry.inc();
+    send_service_request(p.service, p.request);
+    p.deadline = now + retry_timeout(reliability_, p.attempts - 1, rng_);
+    ++it;
+  }
+}
+
+void Subscriber::poll() {
+  if (!reliability_.enabled) return;
+  const double now = network_.now();
+  SubMetrics& metrics = sub_metrics();
+
+  if (!connected_ && register_deadline_.has_value() &&
+      now >= *register_deadline_) {
+    metrics.timeouts.inc();
+    ++register_attempts_;
+    if (register_attempts_ >= reliability_.max_attempts) {
+      metrics.retry_exhausted.inc();
+      register_deadline_.reset();
+    } else {
+      metrics.retry.inc();
+      metrics.reconnects.inc();
+      ++retries_;
+      connect();  // fresh hello + register (also resets the deadline)
+    }
+  }
+
+  retry_requests(pending_token_requests_, now);
+  retry_requests(pending_content_requests_, now);
+
+  if (!connected_ || !meta_baseline_) return;
+  if (sync_deadline_.has_value() && now >= *sync_deadline_) {
+    metrics.timeouts.inc();
+    sync_deadline_.reset();
+    ++sync_failures_;
+    ++retries_;
+    if (sync_failures_ >= reliability_.reconnect_after) {
+      // Repeated unanswered syncs: assume the channel (or the DS) died —
+      // e.g. an endpoint restart wiped our registration. Re-establish and
+      // let the post-ack sync repair whatever we missed.
+      metrics.reconnects.inc();
+      sync_failures_ = 0;
+      connect();
+      return;
+    }
+    metrics.retry.inc();
+  }
+  if (!sync_deadline_.has_value() &&
+      (force_sync_ || !missing_meta_.empty() || now >= next_heartbeat_)) {
+    send_sync(now);
+  }
 }
 
 void Subscriber::on_frame(const std::string& from, BytesView data) {
@@ -228,13 +367,96 @@ void Subscriber::handle_inner(BytesView inner) {
   const FrameType type = read_frame_type(r);
   if (type == FrameType::kAck) {
     connected_ = true;
+    register_deadline_.reset();
+    register_attempts_ = 0;
+    if (!r.done()) handle_reliable_ack(r);
     return;
   }
   if (type == FrameType::kMetadataDelivery) {
     const Bytes hve_ct = r.bytes();
     r.expect_done();
     handle_metadata(hve_ct);
+    return;
   }
+  if (type == FrameType::kMetadataDeliverySeq) {
+    handle_sequenced_metadata(r);
+    return;
+  }
+  if (type == FrameType::kMetaSyncInfo) {
+    handle_sync_info(r);
+    return;
+  }
+}
+
+void Subscriber::handle_reliable_ack(Reader& r) {
+  const std::uint64_t incarnation = r.u64();
+  const std::uint64_t joined = r.u64();
+  r.expect_done();
+  if (!meta_baseline_) {
+    // First ack pins the baseline: we are entitled to everything from our
+    // join index on. Broadcasts that raced ahead of this ack were dropped
+    // on purpose — the forced sync replays them from the DS ring.
+    meta_baseline_ = true;
+    ds_incarnation_ = incarnation;
+    next_meta_index_ = joined;
+    missing_meta_.clear();
+    force_sync_ = true;
+    return;
+  }
+  if (ds_incarnation_ != incarnation) {
+    // The DS restarted: its index space restarted at 0 and the ring was
+    // wiped, so prior gaps are unrecoverable. Start over from 0 and sync
+    // to pull whatever the new incarnation has broadcast so far.
+    ds_incarnation_ = incarnation;
+    next_meta_index_ = 0;
+    missing_meta_.clear();
+    force_sync_ = true;
+  }
+  // Same-incarnation re-ack (retried registration): stream state stands.
+}
+
+void Subscriber::handle_sequenced_metadata(Reader& r) {
+  const std::uint64_t index = r.u64();
+  const Bytes hve_ct = r.bytes();
+  r.expect_done();
+  if (!meta_baseline_) return;  // pre-ack frame; recovered via sync
+  if (index >= next_meta_index_) {
+    for (std::uint64_t i = next_meta_index_; i < index; ++i) {
+      missing_meta_.insert(i);
+    }
+    next_meta_index_ = index + 1;
+    handle_metadata(hve_ct);
+    return;
+  }
+  if (missing_meta_.erase(index) > 0) {
+    handle_metadata(hve_ct);
+    return;
+  }
+  // Already processed: a duplicated frame or a sync replay overlapping what
+  // arrived out of order in the meantime. Never processed twice.
+  ++duplicate_metadata_;
+}
+
+void Subscriber::handle_sync_info(Reader& r) {
+  const std::uint64_t incarnation = r.u64();
+  const std::uint64_t ds_next = r.u64();
+  r.expect_done();
+  if (!meta_baseline_) return;
+  if (ds_incarnation_ != incarnation) {
+    ds_incarnation_ = incarnation;
+    next_meta_index_ = 0;
+    missing_meta_.clear();
+    force_sync_ = true;
+  } else {
+    // Everything below the DS's next index exists; anything we have not
+    // seen yet is a gap to repair on the next sync round.
+    for (std::uint64_t i = next_meta_index_; i < ds_next; ++i) {
+      missing_meta_.insert(i);
+    }
+    next_meta_index_ = std::max(next_meta_index_, ds_next);
+  }
+  sync_deadline_.reset();
+  sync_failures_ = 0;
 }
 
 void Subscriber::handle_metadata(BytesView hve_ct) {
@@ -291,6 +513,7 @@ void Subscriber::handle_token_response(BytesView body) {
   if (it == pending_token_ks_.end()) return;
   const Bytes ks = it->second;
   pending_token_ks_.erase(it);
+  pending_token_requests_.erase(tagged.tag);
 
   const auto plain = crypto::aead_decrypt(
       ks, crypto::AeadCiphertext::deserialize(tagged.payload),
@@ -317,6 +540,7 @@ void Subscriber::handle_content_response(BytesView body) {
   if (it == pending_content_ks_.end()) return;
   const Bytes ks = it->second;
   pending_content_ks_.erase(it);
+  pending_content_requests_.erase(tagged.tag);
 
   const auto plain = crypto::aead_decrypt(
       ks, crypto::AeadCiphertext::deserialize(tagged.payload),
@@ -348,6 +572,12 @@ void Subscriber::handle_content_response(BytesView body) {
   delivery.guid = Guid::from_bytes(tr.raw(Guid::kSize));
   delivery.payload = tr.bytes();
   tr.expect_done();
+  // GUID-level exactly-once, defense in depth behind the tag/Ks dedup: even
+  // a replayed response for a re-requested GUID never delivers twice.
+  if (!delivered_guids_.insert(delivery.guid).second) {
+    ++duplicate_metadata_;
+    return;
+  }
   deliveries_.push_back(delivery);
   metrics.deliveries.inc();
   if (handler_) handler_(deliveries_.back());

@@ -34,7 +34,7 @@ std::unique_ptr<Subscriber> P3sSystem::make_subscriber(
     const std::set<std::string>& attributes, Rng& rng) {
   auto sub = std::make_unique<Subscriber>(
       network_, endpoint_name, ara_.register_subscriber(pseudonym, attributes, rng),
-      rng, config_.with_anonymizer);
+      rng, config_.with_anonymizer, config_.reliability);
   sub->connect();
   return sub;
 }
@@ -42,7 +42,8 @@ std::unique_ptr<Subscriber> P3sSystem::make_subscriber(
 std::unique_ptr<Publisher> P3sSystem::make_publisher(
     const std::string& endpoint_name, const std::string& pseudonym, Rng& rng) {
   auto pub = std::make_unique<Publisher>(
-      network_, endpoint_name, ara_.register_publisher(pseudonym, rng), rng);
+      network_, endpoint_name, ara_.register_publisher(pseudonym, rng), rng,
+      config_.reliability);
   pub->connect();
   return pub;
 }

@@ -25,6 +25,10 @@ struct P3sConfig {
   std::optional<pbe::EpochPolicy> epoch;
   /// §8 alternative configuration: embed the PBE-TS in every subscriber.
   bool embedded_token_server = false;
+  /// Reliable request layer for every client this system hands out
+  /// (DESIGN.md "Reliability"). Off by default: the wire traffic is then
+  /// bit-identical to the fire-and-forget base protocol.
+  ReliabilityConfig reliability;
   std::string ds_name = "ds";
   std::string rs_name = "rs";
   std::string ts_name = "pbe-ts";

@@ -14,6 +14,15 @@ struct SimNetMetrics {
   obs::Counter& frames = reg.counter(obs::names::kSimFramesTotal);
   obs::Histogram& frame_bytes =
       reg.histogram(obs::names::kSimFrameBytes, {}, "bytes");
+  // Fault hooks share the p3s.net.fault_* vocabulary with AsyncNetwork.
+  obs::Counter& fault_dropped =
+      reg.counter(obs::names::kNetFaultDroppedTotal);
+  obs::Counter& fault_duplicated =
+      reg.counter(obs::names::kNetFaultDuplicatedTotal);
+  obs::Counter& fault_delayed =
+      reg.counter(obs::names::kNetFaultDelayedTotal);
+  obs::Counter& fault_blackout_dropped =
+      reg.counter(obs::names::kNetFaultBlackoutDroppedTotal);
 };
 
 SimNetMetrics& simnet_metrics() {
@@ -56,6 +65,12 @@ void SimNetwork::send(const std::string& from, const std::string& to,
   send_sized(from, to, std::move(frame), wire_size);
 }
 
+std::size_t SimNetwork::dropped_on(const std::string& from,
+                                   const std::string& to) const {
+  const auto it = dropped_by_link_.find({from, to});
+  return it != dropped_by_link_.end() ? it->second : 0;
+}
+
 void SimNetwork::send_sized(const std::string& from, const std::string& to,
                             Bytes frame, std::size_t wire_size) {
   traffic_.push_back({now(), from, to, wire_size, frame});
@@ -67,7 +82,41 @@ void SimNetwork::send_sized(const std::string& from, const std::string& to,
   double& nic_free = nic_free_at_[from];
   const double start = std::max(engine_.now(), nic_free);
   nic_free = start + tx;
-  const double arrival = start + tx + link.latency_s;
+  double arrival = start + tx + link.latency_s;
+
+  if (plan_.has_value()) {
+    // NIC time above is spent either way: the frame left the host (and the
+    // traffic log) before the fault ate it.
+    const auto lost = [&](obs::Counter& counter) {
+      ++dropped_;
+      ++dropped_by_link_[{from, to}];
+      counter.inc();
+    };
+    if (plan_->in_blackout(from, now()) ||
+        plan_->in_blackout(to, arrival)) {
+      lost(metrics.fault_blackout_dropped);
+      return;
+    }
+    if (plan_->should_drop(from, to)) {
+      lost(metrics.fault_dropped);
+      return;
+    }
+    const double extra = plan_->delay(from, to);
+    if (extra > 0.0) metrics.fault_delayed.inc();
+    arrival += extra;
+    if (plan_->should_duplicate(from, to)) {
+      metrics.fault_duplicated.inc();
+      traffic_.push_back({now(), from, to, wire_size, frame});
+      const double dup_arrival =
+          start + tx + link.latency_s + plan_->delay(from, to);
+      engine_.at(dup_arrival, [this, from, to, frame]() {
+        const auto it = endpoints_.find(to);
+        if (it == endpoints_.end()) return;
+        Handler handler = it->second;
+        handler(from, frame);
+      });
+    }
+  }
 
   engine_.at(arrival, [this, from, to, frame = std::move(frame)]() {
     const auto it = endpoints_.find(to);

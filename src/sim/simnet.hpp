@@ -7,8 +7,11 @@
 #pragma once
 
 #include <map>
+#include <optional>
 #include <string>
+#include <utility>
 
+#include "net/fault.hpp"
 #include "net/network.hpp"
 #include "sim/engine.hpp"
 
@@ -44,6 +47,19 @@ class SimNetwork final : public net::Network {
 
   SimEngine& engine() { return engine_; }
 
+  // --- fault injection (mirrors AsyncNetwork; DESIGN.md "Reliability") -----
+  /// Install a seeded net::FaultPlan so figure benches can run lossy:
+  /// per-link drop/duplicate, extra delivery delay (seconds here), and
+  /// endpoint blackout windows. Reorder probabilities are ignored — delay
+  /// variance already reorders a discrete-event schedule. NIC time is
+  /// consumed even by frames the plan drops (the bytes left the host).
+  void set_fault_plan(net::FaultPlan plan) { plan_ = std::move(plan); }
+  void clear_fault_plan() { plan_.reset(); }
+  net::FaultPlan* fault_plan() { return plan_.has_value() ? &*plan_ : nullptr; }
+
+  std::size_t dropped_frames() const { return dropped_; }
+  std::size_t dropped_on(const std::string& from, const std::string& to) const;
+
  private:
   const LinkConfig& link_for(const std::string& from,
                              const std::string& to) const;
@@ -54,6 +70,9 @@ class SimNetwork final : public net::Network {
   std::map<std::string, LinkConfig> egress_links_;
   std::map<std::string, Handler> endpoints_;
   std::map<std::string, double> nic_free_at_;
+  std::optional<net::FaultPlan> plan_;
+  std::size_t dropped_ = 0;
+  std::map<std::pair<std::string, std::string>, std::size_t> dropped_by_link_;
 };
 
 }  // namespace p3s::sim

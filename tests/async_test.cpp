@@ -3,6 +3,8 @@
 // §6.1 robustness discussion and the T_G grace period.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "abe/policy.hpp"
 #include "common/rng.hpp"
 #include "net/async.hpp"
@@ -83,6 +85,129 @@ TEST(AsyncNetwork, LiveLockGuardThrows) {
   });
   net.send("x", "a", Bytes{1});
   EXPECT_THROW(net.run_until_idle(100), std::runtime_error);
+}
+
+// --- Seeded fault plans ------------------------------------------------------
+
+TEST(FaultPlan, SameSeedSameSchedule) {
+  const auto run = [](std::uint64_t seed) {
+    net::FaultPlan plan(seed);
+    net::LinkFaults f;
+    f.drop = 0.3;
+    f.duplicate = 0.2;
+    f.delay_max = 5.0;
+    plan.set_default(f);
+    std::vector<int> decisions;
+    for (int i = 0; i < 200; ++i) {
+      decisions.push_back(plan.should_drop("a", "b") ? 1 : 0);
+      decisions.push_back(plan.should_duplicate("a", "b") ? 1 : 0);
+      decisions.push_back(static_cast<int>(plan.delay("a", "b") * 1000));
+    }
+    return decisions;
+  };
+  EXPECT_EQ(run(7), run(7));
+  EXPECT_NE(run(7), run(8));
+}
+
+TEST(FaultPlan, PerLinkOverridesAndCounters) {
+  net::AsyncNetwork net;
+  net::FaultPlan plan(3);
+  net::LinkFaults lossy;
+  lossy.drop = 1.0;
+  plan.set_link("a", "b", lossy);  // only a→b is lossy; default is clean
+  net.set_fault_plan(std::move(plan));
+  int got = 0;
+  net.register_endpoint("a", [&](const std::string&, BytesView) { ++got; });
+  net.register_endpoint("b", [&](const std::string&, BytesView) { ++got; });
+  for (int i = 0; i < 5; ++i) {
+    net.send("a", "b", Bytes{1});
+    net.send("b", "a", Bytes{2});
+  }
+  net.run_until_idle();
+  EXPECT_EQ(got, 5);  // all b→a frames
+  EXPECT_EQ(net.dropped_frames(), 5u);
+  EXPECT_EQ(net.dropped_on("a", "b"), 5u);
+  EXPECT_EQ(net.dropped_on("b", "a"), 0u);
+  EXPECT_EQ(net.traffic().size(), 10u);  // eavesdropper saw every frame
+}
+
+TEST(FaultPlan, DuplicateDeliversTwiceAndLogsTwice) {
+  net::AsyncNetwork net;
+  net::FaultPlan plan(4);
+  net::LinkFaults f;
+  f.duplicate = 1.0;
+  plan.set_default(f);
+  net.set_fault_plan(std::move(plan));
+  int got = 0;
+  net.register_endpoint("b", [&](const std::string&, BytesView) { ++got; });
+  net.send("a", "b", Bytes{1});
+  net.run_until_idle();
+  EXPECT_EQ(got, 2);
+  // The copy crossed the wire too: two traffic records.
+  EXPECT_EQ(net.traffic().size(), 2u);
+}
+
+TEST(FaultPlan, BlackoutWindowSilencesEndpoint) {
+  net::AsyncNetwork net;
+  net::FaultPlan plan(5);
+  plan.add_blackout("b", 0.0, 1000.0);
+  net.set_fault_plan(std::move(plan));
+  int got = 0;
+  net.register_endpoint("b", [&](const std::string&, BytesView) { ++got; });
+  net.send("a", "b", Bytes{1});  // lands inside the window: lost
+  net.run_until_idle();
+  EXPECT_EQ(got, 0);
+  EXPECT_EQ(net.dropped_frames(), 1u);
+  net.advance(2000);  // window over
+  net.send("a", "b", Bytes{2});
+  net.run_until_idle();
+  EXPECT_EQ(got, 1);
+  // Sender-side blackout: frames from a dark endpoint are lost at send time.
+  net.fault_plan()->add_blackout("b", net.now(), net.now() + 1000.0);
+  net.send("b", "a", Bytes{3});
+  net.run_until_idle();
+  EXPECT_EQ(net.dropped_frames(), 2u);
+  EXPECT_EQ(net.traffic().size(), 3u);  // still all on the eavesdropper log
+}
+
+TEST(FaultPlan, DelayHoldsFrameUntilItsTick) {
+  net::AsyncNetwork net;
+  net::FaultPlan plan(6);
+  net::LinkFaults f;
+  f.delay_max = 50.0;
+  plan.set_default(f);
+  net.set_fault_plan(std::move(plan));
+  std::vector<int> order;
+  net.register_endpoint("b", [&](const std::string&, BytesView fr) {
+    order.push_back(fr[0]);
+  });
+  // With random extra delay, pumping still delivers everything exactly once
+  // (earliest deliver_at first).
+  for (int i = 0; i < 20; ++i) net.send("a", "b", Bytes{std::uint8_t(i)});
+  net.run_until_idle();
+  EXPECT_EQ(order.size(), 20u);
+  std::sort(order.begin(), order.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(order[i], i);
+}
+
+TEST(FaultPlan, ClearRestoresLegacyBehavior) {
+  net::AsyncNetwork net;
+  net::FaultPlan plan(9);
+  net::LinkFaults f;
+  f.drop = 1.0;
+  plan.set_default(f);
+  net.set_fault_plan(std::move(plan));
+  net.clear_fault_plan();
+  EXPECT_EQ(net.fault_plan(), nullptr);
+  std::vector<int> order;
+  net.register_endpoint("b", [&](const std::string&, BytesView fr) {
+    order.push_back(fr[0]);
+  });
+  net.send("a", "b", Bytes{1});
+  net.send("a", "b", Bytes{2});
+  net.run_until_idle();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(net.dropped_frames(), 0u);
 }
 
 // --- P3S over an asynchronous wire --------------------------------------------------

@@ -8,6 +8,7 @@
 
 #include "abe/policy.hpp"
 #include "common/rng.hpp"
+#include "net/async.hpp"
 #include "net/network.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics.hpp"
@@ -231,6 +232,89 @@ TEST_F(PrivacyTest, MetricNamesStayInsideClosedVocabulary) {
   for (const auto& s : snap.spans) {
     EXPECT_TRUE(obs::Registry::valid_name(s.name)) << s.name;
   }
+}
+
+TEST(PrivacyUnderLoss, DroppedFramesStillReachTheEavesdropper) {
+  // Loss happens on the receiver side of the wire: an eavesdropper near the
+  // sender records every frame whether or not it arrives. The traffic log
+  // (our eavesdropper model) must therefore grow at send time, and the
+  // per-link drop counters must account for every loss.
+  net::AsyncNetwork net;
+  net::FaultPlan plan(42);
+  net::LinkFaults faults;
+  faults.drop = 0.5;
+  plan.set_default(faults);
+  net.set_fault_plan(std::move(plan));
+
+  std::size_t delivered = 0;
+  net.register_endpoint("a", [&](const std::string&, BytesView) {
+    ++delivered;
+  });
+  net.register_endpoint("b", [&](const std::string&, BytesView) {
+    ++delivered;
+  });
+  for (int i = 0; i < 100; ++i) {
+    net.send("a", "b", Bytes{std::uint8_t(i)});
+    net.send("b", "a", Bytes{std::uint8_t(i)});
+  }
+  net.run_until_idle();
+  ASSERT_GT(net.dropped_frames(), 0u);
+  EXPECT_EQ(delivered + net.dropped_frames(), 200u);
+  // Every frame — delivered or dropped — was recorded at send time.
+  EXPECT_EQ(net.traffic().size(), 200u);
+  // Per-link counters partition the total.
+  EXPECT_EQ(net.dropped_on("a", "b") + net.dropped_on("b", "a"),
+            net.dropped_frames());
+  EXPECT_EQ(net.dropped_on("b", "c"), 0u);
+}
+
+TEST(PrivacyUnderLoss, LossyFlowLeaksNothingExtra) {
+  // The §6.1 wire assertions hold under loss too: a full flow over a lossy
+  // AsyncNetwork (with the reliable layer retrying) still never puts the
+  // payload or interest plaintext on the wire — retried frames are fresh
+  // ciphertext, and dropped frames stay in the eavesdropper's log.
+  constexpr const char* kLossyMarker = "TOP-SECRET-PAYLOAD-0x10e55";
+  net::AsyncNetwork net;
+  TestRng rng(0x10e55);
+  P3sConfig config;
+  config.pairing = pairing::Pairing::test_pairing();
+  config.schema = test_schema();
+  config.reliability.enabled = true;
+  config.reliability.timeout = 300.0;
+  config.reliability.max_timeout = 1200.0;
+  P3sSystem system(net, std::move(config), rng);
+
+  net::FaultPlan plan(7);
+  net::LinkFaults faults;
+  faults.drop = 0.1;
+  plan.set_default(faults);
+  net.set_fault_plan(std::move(plan));
+
+  auto sub = system.make_subscriber("sub1", "alice", {"analyst", "org:us"},
+                                    rng);
+  auto pub = system.make_publisher("pub1", "acme", rng);
+  sub->subscribe({{"sector", "finance"}, {"event", "default"}});
+  for (int round = 0; round < 300 && sub->deliveries().empty(); ++round) {
+    net.run_until_idle();
+    sub->poll();
+    pub->poll();
+    if (net.in_flight() == 0) {
+      if (pub->connected() && sub->token_count() == 1 &&
+          pub->pending_publish_count() == 0 && sub->deliveries().empty() &&
+          sub->match_count() == 0) {
+        // Everything settled and nothing published yet: publish now.
+        pub->publish(
+            {{"sector", "finance"}, {"region", "us"}, {"event", "default"}},
+            str_to_bytes(kLossyMarker), abe::parse_policy("analyst and org:us"));
+      }
+      net.advance(97);
+    }
+  }
+  ASSERT_EQ(sub->deliveries().size(), 1u);
+  EXPECT_GT(net.dropped_frames(), 0u);
+  EXPECT_FALSE(wire_contains(net, str_to_bytes(kLossyMarker)));
+  EXPECT_FALSE(wire_contains(net, str_to_bytes("finance")));
+  EXPECT_FALSE(wire_contains(net, str_to_bytes("sector")));
 }
 
 TEST_F(PrivacyTest, MetadataBroadcastIsIdenticalForAllSubscribers) {

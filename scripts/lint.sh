@@ -1,12 +1,17 @@
 #!/bin/sh
 # Build (cached) and run the p3s-lint static analyzer over src/.
 #
-#   sh scripts/lint.sh [repo-root]          lint the tree (exit 1 on findings)
-#   sh scripts/lint.sh --selftest [root]    run the seeded-fixture selftest
+#   sh scripts/lint.sh [repo-root] [extra p3s-lint args...]
+#       lint the tree (exit 1 on findings); extra args are passed through,
+#       e.g. `sh scripts/lint.sh . --format=sarif > lint.sarif`
+#   sh scripts/lint.sh --selftest [repo-root]
+#       run the seeded-fixture selftest
 #
 # The tool is a single standalone C++20 binary (tools/p3s-lint/, no
-# dependencies), compiled on demand into build/lint/ and reused until its
-# sources change. CI runs both modes as required steps.
+# dependencies), compiled on demand into build/lint/ and reused until ANY of
+# its sources change. ccache is used when available. The whole-tree run is
+# held to a wall-clock budget (P3S_LINT_BUDGET seconds, default 10) so the
+# analyzer stays pre-commit-fast; CI runs both modes as required steps.
 set -eu
 
 mode=lint
@@ -15,6 +20,7 @@ if [ "${1:-}" = "--selftest" ]; then
   shift
 fi
 root="${1:-$(dirname "$0")/..}"
+if [ $# -gt 0 ]; then shift; fi
 root="$(cd "$root" && pwd)"
 
 tool_src="$root/tools/p3s-lint"
@@ -27,12 +33,29 @@ bin_dir="$root/build/lint"
 bin="$bin_dir/p3s-lint"
 mkdir -p "$bin_dir"
 
-if [ ! -x "$bin" ] || [ "$tool_src/main.cpp" -nt "$bin" ] \
-    || [ "$tool_src/lexer.hpp" -nt "$bin" ]; then
-  ${CXX:-c++} -std=c++20 -O2 -Wall -Wextra -o "$bin" "$tool_src/main.cpp"
+# Rebuild when the binary is missing or ANY analyzer source is newer than it
+# (the tool is main.cpp + headers; a header-only edit must trigger too).
+needs_build=0
+if [ ! -x "$bin" ]; then
+  needs_build=1
+else
+  for f in "$tool_src"/*.cpp "$tool_src"/*.hpp; do
+    [ -e "$f" ] || continue
+    if [ "$f" -nt "$bin" ]; then
+      needs_build=1
+      break
+    fi
+  done
+fi
+if [ "$needs_build" = 1 ]; then
+  compiler="${CXX:-c++}"
+  if command -v ccache >/dev/null 2>&1; then
+    compiler="ccache $compiler"
+  fi
+  $compiler -std=c++20 -O2 -Wall -Wextra -o "$bin" "$tool_src/main.cpp"
 fi
 
 if [ "$mode" = "selftest" ]; then
   exec "$bin" --selftest "$tool_src/selftest"
 fi
-exec "$bin" --root "$root"
+exec "$bin" --root "$root" --budget-seconds "${P3S_LINT_BUDGET:-10}" "$@"

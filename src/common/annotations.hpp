@@ -1,0 +1,32 @@
+// Concurrency annotation vocabulary, machine-checked by tools/p3s-lint
+// (locks.hpp pass). The macros expand to nothing: they are structured
+// comments with teeth — p3s-lint parses them off the token stream and
+// enforces them across translation units, so they never rot the way prose
+// comments do. Placement mirrors clang's thread-safety attributes:
+//
+//   P3S_GUARDED_BY(mu)  on a field declaration: every access outside the
+//                       owning record's constructor/destructor must happen
+//                       with `mu` held (a lock_guard/unique_lock/scoped_lock
+//                       scope, an explicit mu.lock(), or from a function
+//                       annotated P3S_REQUIRES(mu)).
+//   P3S_REQUIRES(mu)    trailing on a function declaration: callers must
+//                       already hold `mu`; the body is checked as if `mu`
+//                       were held throughout.
+//   P3S_NO_BLOCK        trailing on a function declaration: the function
+//                       (and everything it reaches) must not sleep, wait,
+//                       join, or call anything P3S_BLOCKING. Pool task
+//                       lambdas get this check implicitly.
+//   P3S_BLOCKING        trailing on a function declaration: marks a call
+//                       that may block (e.g. net::Network::send) so the
+//                       no-block pass can flag it transitively. This is the
+//                       machine check behind the "sends stay serial on the
+//                       caller" pool invariant.
+//
+// Annotations merge across declaration and out-of-line definition by
+// (record, name), so annotating the header covers the .cpp body.
+#pragma once
+
+#define P3S_GUARDED_BY(mu)
+#define P3S_REQUIRES(mu)
+#define P3S_NO_BLOCK
+#define P3S_BLOCKING

@@ -4,6 +4,8 @@
 #include <mutex>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace p3s::probe {
 
 namespace {
@@ -11,7 +13,7 @@ std::atomic<Sink*> g_sink{nullptr};
 
 struct InternTable {
   std::mutex mutex;
-  std::vector<const char*> names;
+  std::vector<const char*> names P3S_GUARDED_BY(mutex);
 };
 
 InternTable& table() {

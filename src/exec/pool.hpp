@@ -30,6 +30,8 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace p3s::exec {
 
 class Pool {
@@ -87,15 +89,16 @@ class Pool {
   };
 
   void worker(std::size_t self);
-  bool try_pop(std::size_t self, std::function<void()>& out);
+  bool try_pop(std::size_t self, std::function<void()>& out)
+      P3S_REQUIRES(mutex_);
 
   std::size_t threads_ = 1;
-  std::vector<Queue> queues_;
+  std::vector<Queue> queues_ P3S_GUARDED_BY(mutex_);
   std::mutex mutex_;  // guards all queues + cv (coarse; tasks are chunky)
   std::condition_variable cv_;
   std::vector<std::thread> workers_;
-  std::size_t next_queue_ = 0;
-  bool stopping_ = false;
+  std::size_t next_queue_ P3S_GUARDED_BY(mutex_) = 0;
+  bool stopping_ P3S_GUARDED_BY(mutex_) = false;
 };
 
 /// True while the current thread is a Pool worker (any pool). Nested

@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 
 namespace p3s::net {
@@ -43,9 +44,12 @@ class Network {
   /// Remove an endpoint (component crash/leave). Unknown names are ignored.
   virtual void unregister_endpoint(const std::string& name) = 0;
   /// Queue a frame for delivery. Frames to unknown endpoints are dropped
-  /// (recorded in the traffic log either way, like a real wire).
+  /// (recorded in the traffic log either way, like a real wire). Marked
+  /// P3S_BLOCKING: delivery may dispatch handlers inline or touch transport
+  /// queues, so pool tasks must never call it — sends stay serial on the
+  /// caller (p3s-lint no-block).
   virtual void send(const std::string& from, const std::string& to,
-                    Bytes frame) = 0;
+                    Bytes frame) P3S_BLOCKING = 0;
   /// Current network time in seconds (wall-free; simulated or logical).
   virtual double now() const = 0;
 

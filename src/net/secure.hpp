@@ -8,6 +8,7 @@
 #include <cstdint>
 #include <optional>
 
+#include "common/annotations.hpp"
 #include "common/bytes.hpp"
 #include "common/rng.hpp"
 #include "pairing/ecies.hpp"
@@ -31,11 +32,14 @@ class SecureSession {
                                              BytesView hello);
 
   /// Encrypt a record for the peer. The sequence number is authenticated.
-  Bytes seal(BytesView plaintext, Rng& rng);
+  /// P3S_NO_BLOCK: called from pool task lambdas (DS fanout sealing), so it
+  /// must stay pure CPU — no waits, no network.
+  Bytes seal(BytesView plaintext, Rng& rng) P3S_NO_BLOCK;
 
   /// Decrypt a record from the peer; enforces strictly increasing sequence
   /// numbers (detects replay, reorder, and silent drop of later reads).
-  std::optional<Bytes> open(BytesView record);
+  /// P3S_NO_BLOCK for the same reason as seal().
+  std::optional<Bytes> open(BytesView record) P3S_NO_BLOCK;
 
  private:
   SecureSession(Bytes key, bool is_client);

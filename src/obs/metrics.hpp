@@ -32,6 +32,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/annotations.hpp"
+
 namespace p3s::obs {
 
 enum class MetricType { kCounter, kGauge, kHistogram };
@@ -245,9 +247,9 @@ class Registry {
   static constexpr std::size_t kSpanRing = 1024;
 
   mutable std::mutex mutex_;
-  std::map<std::string, Entry, std::less<>> metrics_;
+  std::map<std::string, Entry, std::less<>> metrics_ P3S_GUARDED_BY(mutex_);
   std::atomic<bool> enabled_{true};
-  Clock clock_;  // empty = steady_clock
+  Clock clock_ P3S_GUARDED_BY(mutex_);  // empty = steady_clock
 
   std::array<SpanRecord, kSpanRing> spans_{};
   std::atomic<std::uint64_t> span_next_{0};

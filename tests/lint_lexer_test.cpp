@@ -1,0 +1,160 @@
+// Pins the lexer corner cases tools/p3s-lint depends on (see the header
+// comment in tools/p3s-lint/lexer.hpp). Each regression here once produced
+// a desynchronized token stream: an apostrophe opening a bogus char
+// literal, a raw-string body parsed as code, or a "//" inside a string
+// starting a false comment — all of which silently blind the analyzer for
+// the rest of the file.
+#include "tools/p3s-lint/lexer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+namespace {
+
+using p3s::lint::Tok;
+using p3s::lint::Token;
+using p3s::lint::tokenize;
+
+std::vector<Token> lex(const std::string& src) { return tokenize(src); }
+
+// Convenience: kinds/texts of all tokens, comments included.
+std::vector<std::string> texts(const std::vector<Token>& toks) {
+  std::vector<std::string> out;
+  for (const Token& t : toks) out.push_back(t.text);
+  return out;
+}
+
+TEST(LintLexer, DigitSeparatorsAreOneNumberToken) {
+  const auto toks = lex("int x = 1'000'000;");
+  ASSERT_EQ(toks.size(), 5u);  // int x = <num> ; — separators stripped
+  EXPECT_EQ(toks[3].kind, Tok::kNumber);
+  EXPECT_EQ(toks[3].text, "1000000");  // compares equal to plain form
+  EXPECT_EQ(toks[4].text, ";");
+}
+
+TEST(LintLexer, HexDigitSeparators) {
+  const auto toks = lex("auto m = 0xFF'FF;");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, Tok::kNumber);
+  EXPECT_EQ(toks[3].text, "0xFFFF");
+}
+
+TEST(LintLexer, SeparatorDoesNotOpenCharLiteral) {
+  // The apostrophe in 1'000 must not swallow code up to the next quote:
+  // the call to strcpy after it has to stay visible as a call.
+  const auto toks = lex("f(1'000); strcpy(dst, src);");
+  bool saw_strcpy_call = false;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Tok::kIdent && toks[i].text == "strcpy" &&
+        toks[i + 1].kind == Tok::kPunct && toks[i + 1].text == "(") {
+      saw_strcpy_call = true;
+    }
+  }
+  EXPECT_TRUE(saw_strcpy_call);
+}
+
+TEST(LintLexer, RawStringBodyIsData) {
+  const auto toks = lex("auto s = R\"(no // comment \" here)\"; g();");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, Tok::kString);
+  EXPECT_EQ(toks[3].text, "no // comment \" here");
+  // The g() after the literal still lexes as a call.
+  EXPECT_EQ(toks[toks.size() - 4].text, "g");
+  for (const Token& t : toks) EXPECT_NE(t.kind, Tok::kComment);
+}
+
+TEST(LintLexer, RawStringCustomDelimiter) {
+  const auto toks = lex("R\"xx(a)\" not closed )xx\" h();");
+  ASSERT_FALSE(toks.empty());
+  EXPECT_EQ(toks[0].kind, Tok::kString);
+  EXPECT_EQ(toks[0].text, "a)\" not closed ");
+  EXPECT_EQ(toks[1].text, "h");
+}
+
+TEST(LintLexer, EncodingPrefixedRawString) {
+  const auto toks = lex("auto s = u8R\"(x//y)\";");
+  ASSERT_GE(toks.size(), 4u);
+  EXPECT_EQ(toks[3].kind, Tok::kString);
+  EXPECT_EQ(toks[3].text, "x//y");
+  for (const Token& t : toks) EXPECT_NE(t.kind, Tok::kComment);
+}
+
+TEST(LintLexer, SlashSlashInsideStringIsNotComment) {
+  const auto toks = lex("log(\"http://x\"); rand();");
+  bool saw_rand = false;
+  for (const Token& t : toks) {
+    EXPECT_NE(t.kind, Tok::kComment);
+    if (t.kind == Tok::kIdent && t.text == "rand") saw_rand = true;
+  }
+  EXPECT_TRUE(saw_rand);
+}
+
+TEST(LintLexer, LiteralSuffixDoesNotDetach) {
+  // 10ms / "x"sv: the suffix must not become a free identifier that shifts
+  // call-site detection one token over.
+  const auto toks = lex("wait_for(10ms); use(\"x\"sv);");
+  for (const Token& t : toks) {
+    EXPECT_NE(t.text, "ms");
+    EXPECT_NE(t.text, "sv");
+  }
+}
+
+TEST(LintLexer, EncodingPrefixedOrdinaryLiterals) {
+  const auto toks = lex("auto a = u8\"abc\"; auto c = L'q';");
+  int strings = 0;
+  int chars = 0;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kString) ++strings;
+    if (t.kind == Tok::kChar) ++chars;
+  }
+  EXPECT_EQ(strings, 1);
+  EXPECT_EQ(chars, 1);
+  // The prefixes must not appear as identifiers.
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kIdent) {
+      EXPECT_NE(t.text, "u8");
+      EXPECT_NE(t.text, "L");
+    }
+  }
+}
+
+TEST(LintLexer, UnterminatedStringStopsAtNewline) {
+  // One stray quote must not swallow the rest of the file: the comment on
+  // the next line still lexes as a comment.
+  const auto toks = lex("auto s = \"oops;\n// real comment\nint x;");
+  bool saw_comment = false;
+  for (const Token& t : toks) {
+    if (t.kind == Tok::kComment) saw_comment = true;
+  }
+  EXPECT_TRUE(saw_comment);
+}
+
+TEST(LintLexer, CommentsCarrySuppressionText) {
+  const auto toks = lex("x = 1;  // p3s:lint-allow(banned-api) reason\n");
+  ASSERT_FALSE(toks.empty());
+  const Token& last = toks.back();
+  EXPECT_EQ(last.kind, Tok::kComment);
+  EXPECT_NE(last.text.find("p3s:lint-allow(banned-api)"), std::string::npos);
+}
+
+TEST(LintLexer, MultiCharPunctuationIsGreedy) {
+  const auto toks = lex("a==b; c<=>d; e->f; g::h;");
+  const auto tx = texts(toks);
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "=="), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "<=>"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "->"), tx.end());
+  EXPECT_NE(std::find(tx.begin(), tx.end(), "::"), tx.end());
+}
+
+TEST(LintLexer, LineNumbersSurviveMultilineConstructs) {
+  const auto toks = lex("/* a\nb\nc */\nR\"(1\n2)\"\nlast");
+  ASSERT_FALSE(toks.empty());
+  const Token& last = toks.back();
+  EXPECT_EQ(last.text, "last");
+  EXPECT_EQ(last.line, 6);
+}
+
+}  // namespace

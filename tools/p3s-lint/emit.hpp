@@ -1,0 +1,115 @@
+// p3s-lint output formats: the classic one-line-per-finding text, a JSON
+// array for scripting, and SARIF 2.1.0 for CI annotation upload. All three
+// render the same Finding list; --format picks one.
+#pragma once
+
+#include <cstdio>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+
+namespace p3s::lint {
+
+inline std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+inline void emit_text(std::ostream& os, const std::vector<Finding>& findings,
+                      std::size_t files_scanned) {
+  for (const Finding& f : findings) {
+    os << f.file << ":" << f.line << ": [" << f.rule << "] " << f.message
+       << "\n";
+  }
+  if (findings.empty()) {
+    os << "p3s-lint: OK (" << files_scanned << " files clean)\n";
+  } else {
+    os << "p3s-lint: " << findings.size() << " finding(s) across "
+       << files_scanned << " files\n";
+  }
+}
+
+inline void emit_json(std::ostream& os, const std::vector<Finding>& findings) {
+  os << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "  {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+       << f.line << ", \"rule\": \"" << json_escape(f.rule)
+       << "\", \"message\": \"" << json_escape(f.message) << "\"}"
+       << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+}
+
+inline void emit_sarif(std::ostream& os, const std::vector<Finding>& findings) {
+  // Rule ids, deduped, for the tool.driver.rules table.
+  std::vector<std::string> rules;
+  for (const Finding& f : findings) {
+    bool seen = false;
+    for (const std::string& r : rules) {
+      if (r == f.rule) seen = true;
+    }
+    if (!seen) rules.push_back(f.rule);
+  }
+  os << "{\n"
+     << "  \"$schema\": \"https://raw.githubusercontent.com/oasis-tcs/"
+        "sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n"
+     << "  \"version\": \"2.1.0\",\n"
+     << "  \"runs\": [\n"
+     << "    {\n"
+     << "      \"tool\": {\n"
+     << "        \"driver\": {\n"
+     << "          \"name\": \"p3s-lint\",\n"
+     << "          \"informationUri\": "
+        "\"https://example.invalid/p3s/tools/p3s-lint\",\n"
+     << "          \"rules\": [\n";
+  for (std::size_t i = 0; i < rules.size(); ++i) {
+    os << "            {\"id\": \"" << json_escape(rules[i]) << "\"}"
+       << (i + 1 < rules.size() ? "," : "") << "\n";
+  }
+  os << "          ]\n"
+     << "        }\n"
+     << "      },\n"
+     << "      \"results\": [\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "        {\n"
+       << "          \"ruleId\": \"" << json_escape(f.rule) << "\",\n"
+       << "          \"level\": \"error\",\n"
+       << "          \"message\": {\"text\": \"" << json_escape(f.message)
+       << "\"},\n"
+       << "          \"locations\": [\n"
+       << "            {\"physicalLocation\": {\"artifactLocation\": "
+          "{\"uri\": \""
+       << json_escape(f.file) << "\"}, \"region\": {\"startLine\": "
+       << (f.line > 0 ? f.line : 1) << "}}}\n"
+       << "          ]\n"
+       << "        }" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "      ]\n"
+     << "    }\n"
+     << "  ]\n"
+     << "}\n";
+}
+
+}  // namespace p3s::lint

@@ -1,0 +1,236 @@
+// p3s-lint intermediate representation: the per-TU symbol graph every pass
+// runs on. A FileUnit owns the token streams and file-local facts (includes,
+// suppressions); Records and Functions live in the Project so out-of-line
+// definitions (pool.cpp) see annotations declared in headers (pool.hpp) and
+// the lock-order / call graphs can be stitched across translation units.
+//
+// Everything here is heuristic, not a real C++ front end: names are matched
+// textually, types are flattened token text, and resolution is by simple
+// name. The passes are written so that imprecision degrades toward silence
+// (a call we cannot resolve contributes nothing), never toward noise.
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "lexer.hpp"
+
+namespace p3s::lint {
+
+struct Finding {
+  std::string file;  // repo-relative
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// Token-index range [begin, end) into FileUnit::code.
+struct Range {
+  std::size_t begin = 0;
+  std::size_t end = 0;
+  bool empty() const { return begin >= end; }
+};
+
+// One P3S_* source annotation: P3S_GUARDED_BY(mu), P3S_REQUIRES(mu),
+// P3S_NO_BLOCK, P3S_BLOCKING. `arg` is the flattened text between parens.
+struct Annotation {
+  std::string name;
+  std::string arg;
+};
+
+struct Field {
+  std::string name;
+  std::string type_text;   // flattened declaration tokens before the name
+  std::string guarded_by;  // mutex name from P3S_GUARDED_BY, "" when none
+  int line = 0;
+};
+
+struct Param {
+  std::string name;
+  std::string type_text;
+};
+
+struct IncludeDir {
+  std::string path;
+  int line = 0;
+};
+
+// A call site inside a function body (or lambda body). `base_text` is the
+// flattened prefix expression ("exec::Pool::global()", "network_", "std");
+// `callee` the final name before the '('.
+struct CallSite {
+  std::string callee;
+  std::string base_text;
+  bool member = false;  // reached via . or ->
+  int line = 0;
+  std::size_t tok = 0;              // index of the callee token
+  std::vector<Range> args;          // one range per comma-separated argument
+  std::vector<int> lambda_args;     // function ids of literal-lambda args
+  std::vector<std::string> locks;   // mutex keys lexically held here
+};
+
+// A scoped lock acquisition: lock_guard / unique_lock / scoped_lock /
+// shared_lock construction, or an explicit mu.lock(). `key` is normalized
+// to "Record::member" when the mutex resolves to a member, else "::name".
+struct LockSite {
+  std::string key;
+  std::string var;  // guard variable name ("" for mu.lock())
+  int line = 0;
+  Range scope;  // token range the lock is held over (lexical)
+};
+
+// Access to a known record field from a function body.
+struct FieldAccess {
+  std::string record;  // owning record simple name
+  std::string field;
+  int line = 0;
+  std::size_t tok = 0;
+  bool in_lambda = false;
+  std::vector<std::string> locks;  // mutex keys lexically held here
+};
+
+// Assignment or initialization: lhs gets the value of tokens [rhs).
+struct Assign {
+  std::string lhs;
+  Range rhs;
+  int line = 0;
+};
+
+struct Function {
+  std::string name;    // simple name ("worker", "operator==", "<lambda>")
+  std::string qual;    // "Pool::worker", "fan_out_metadata::<lambda:42>"
+  std::string record;  // enclosing record simple name, "" for free functions
+  int unit = -1;       // owning FileUnit index
+  int line = 0;
+  bool has_body = false;
+  bool is_lambda = false;
+  int parent = -1;  // enclosing function id for lambdas, else -1
+  Range body;       // body token range (inside the braces)
+  std::vector<Param> params;
+  std::vector<Annotation> annotations;
+  std::vector<CallSite> calls;
+  std::vector<LockSite> lock_sites;
+  std::vector<FieldAccess> accesses;
+  std::vector<Assign> assigns;
+  std::vector<Range> branches;  // if/while/for condition ranges
+  std::vector<Range> returns;   // return expression ranges
+  std::map<std::string, std::string> local_types;  // local var -> type text
+  std::map<std::string, int> local_lambdas;        // auto f = [..]{..}
+  std::vector<int> lambdas;                        // nested lambda ids
+
+  bool has_annotation(const std::string& n) const {
+    for (const Annotation& a : annotations) {
+      if (a.name == n) return true;
+    }
+    return false;
+  }
+  std::string annotation_arg(const std::string& n) const {
+    for (const Annotation& a : annotations) {
+      if (a.name == n) return a.arg;
+    }
+    return "";
+  }
+};
+
+struct Record {
+  std::string name;  // simple name
+  std::string qual;  // Ns::Outer::Name
+  int unit = -1;
+  int line = 0;
+  std::vector<Field> fields;
+  std::set<std::string> method_names;
+
+  const Field* field(const std::string& n) const {
+    for (const Field& f : fields) {
+      if (f.name == n) return &f;
+    }
+    return nullptr;
+  }
+};
+
+struct FileUnit {
+  std::string rel;     // repo-relative path
+  std::string module;  // first directory under src/, "" otherwise
+  std::vector<Token> all;   // full stream incl. comments
+  std::vector<Token> code;  // comments stripped; all Ranges index into this
+  std::vector<IncludeDir> includes;
+  std::map<std::string, std::set<int>> allow;  // rule -> allowed lines
+  std::vector<int> functions;  // function ids defined in this unit
+  std::vector<int> records;    // record ids defined in this unit
+};
+
+struct Project {
+  std::vector<FileUnit> units;
+  std::vector<Record> records;
+  std::vector<Function> functions;
+  std::map<std::string, std::vector<int>> records_by_name;
+  std::map<std::string, std::vector<int>> functions_by_name;
+
+  void index() {
+    records_by_name.clear();
+    functions_by_name.clear();
+    for (std::size_t i = 0; i < records.size(); ++i) {
+      records_by_name[records[i].name].push_back(static_cast<int>(i));
+    }
+    for (std::size_t i = 0; i < functions.size(); ++i) {
+      functions_by_name[functions[i].name].push_back(static_cast<int>(i));
+    }
+  }
+
+  const Record* find_record(const std::string& name) const {
+    auto it = records_by_name.find(name);
+    if (it == records_by_name.end() || it->second.empty()) return nullptr;
+    return &records[static_cast<std::size_t>(it->second.front())];
+  }
+
+  // Simple-name resolution: every function sharing the callee's name.
+  const std::vector<int>* candidates(const std::string& name) const {
+    auto it = functions_by_name.find(name);
+    return it == functions_by_name.end() ? nullptr : &it->second;
+  }
+};
+
+// Suppressions: a `p3s:lint-allow(rule)` comment on line L allows the rule
+// on L and L+1 (trailing and preceding-line placement both work).
+inline void collect_suppressions(FileUnit& unit) {
+  const std::string marker = "p3s:lint-allow(";
+  for (const Token& t : unit.all) {
+    if (t.kind != Tok::kComment) continue;
+    std::size_t at = 0;
+    while ((at = t.text.find(marker, at)) != std::string::npos) {
+      const std::size_t start = at + marker.size();
+      const std::size_t end = t.text.find(')', start);
+      if (end == std::string::npos) break;
+      const std::string rule = t.text.substr(start, end - start);
+      unit.allow[rule].insert(t.line);
+      unit.allow[rule].insert(t.line + 1);
+      at = end;
+    }
+  }
+}
+
+class Findings {
+ public:
+  void report(const FileUnit& unit, int line, const std::string& rule,
+              const std::string& message) {
+    auto it = unit.allow.find(rule);
+    if (it != unit.allow.end() && it->second.count(line) != 0) return;
+    for (const Finding& f : all_) {
+      if (f.line == line && f.file == unit.rel && f.rule == rule &&
+          f.message == message) {
+        return;  // dedupe: several passes may witness the same flow
+      }
+    }
+    all_.push_back({unit.rel, line, rule, message});
+  }
+
+  std::vector<Finding>& all() { return all_; }
+  const std::vector<Finding>& all() const { return all_; }
+
+ private:
+  std::vector<Finding> all_;
+};
+
+}  // namespace p3s::lint

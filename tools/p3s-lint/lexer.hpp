@@ -1,9 +1,20 @@
 // Minimal C++ lexer for p3s-lint: splits a translation unit into identifier,
 // punctuation, string-literal and comment tokens with line numbers. No
-// preprocessing, no libclang — just enough lexical structure for the rule
-// checks (include directives, call sites, comparisons, string literals,
-// suppression comments) to work on real code without matching inside
-// comments or strings.
+// preprocessing, no libclang — just enough lexical structure for the symbol
+// graph (tools/p3s-lint/parse.hpp) and the rule passes to work on real code
+// without matching inside comments or strings.
+//
+// Corner cases this lexer gets right (tests/lint_lexer_test.cpp pins them):
+//   * digit separators: 1'000'000 and 0xFF'FF are ONE number token — the
+//     apostrophe must not open a char literal that swallows the rest of the
+//     file and turns a later "//" inside a string into a false comment
+//   * raw string literals R"(...)" and R"delim(...)delim", including the
+//     encoding-prefixed forms u8R"(..)", uR, UR, LR; the body is kept
+//     verbatim ("//" and '"' inside it are data, not comments/quotes)
+//   * encoding-prefixed ordinary literals (u8"x", L'c') and literal
+//     suffixes (10ms, 1.5f, "x"sv) — the prefix/suffix never detaches into
+//     a spurious identifier token that would shift call-site detection
+//   * "//" and "/*" inside string literals are string bytes, not comments
 #pragma once
 
 #include <cctype>
@@ -15,8 +26,8 @@ namespace p3s::lint {
 
 enum class Tok {
   kIdent,    // identifiers and keywords
-  kNumber,   // numeric literals (pp-numbers, good enough)
-  kString,   // "..." (text holds the body, quotes stripped)
+  kNumber,   // numeric literals (pp-numbers with digit separators)
+  kString,   // "..." / R"(...)" (text holds the body, quotes stripped)
   kChar,     // '...'
   kPunct,    // one operator/punctuator per token (==, !=, ::, ...)
   kComment,  // // or /* */ (text holds the body)
@@ -35,6 +46,18 @@ inline bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
+namespace detail {
+
+// Does the identifier `id` name an encoding prefix whose next token is a
+// string/char literal (u8"..", L'c', uR"(..)", ...)? Returns the length of
+// the prefix when the char after it starts a literal, else 0.
+inline bool is_literal_prefix(std::string_view id) {
+  return id == "u8" || id == "u" || id == "U" || id == "L" || id == "R" ||
+         id == "u8R" || id == "uR" || id == "UR" || id == "LR";
+}
+
+}  // namespace detail
+
 /// Tokenize `src`. Never throws on malformed input; unterminated literals
 /// simply run to end of file. Comments are kept as tokens so the caller can
 /// honor suppression annotations.
@@ -46,6 +69,62 @@ inline std::vector<Token> tokenize(std::string_view src) {
   auto peek = [&](std::size_t k) -> char {
     return i + k < n ? src[i + k] : '\0';
   };
+
+  // Lex a raw string starting at src[at] == 'R' (the caller has verified the
+  // '"' follows). Returns the index just past the closing quote.
+  auto lex_raw_string = [&](std::size_t at) -> std::size_t {
+    std::size_t j = at + 2;  // past R"
+    std::string delim;
+    while (j < n && src[j] != '(' && src[j] != '"' && src[j] != '\n' &&
+           delim.size() < 16) {
+      delim.push_back(src[j++]);
+    }
+    const int start_line = line;
+    if (j >= n || src[j] != '(') {
+      // Malformed raw literal; treat the R as an identifier so we at least
+      // stay synchronized on the following quote.
+      out.push_back({Tok::kIdent, "R", line});
+      return at + 1;
+    }
+    const std::string close = ")" + delim + "\"";
+    const std::size_t body = j + 1;
+    const std::size_t end = src.find(close, body);
+    const std::size_t stop = end == std::string_view::npos ? n : end;
+    for (std::size_t k = at; k < stop; ++k) {
+      if (src[k] == '\n') ++line;
+    }
+    out.push_back(
+        {Tok::kString, std::string(src.substr(body, stop - body)), start_line});
+    return end == std::string_view::npos ? n : end + close.size();
+  };
+
+  // Lex an ordinary quoted literal starting at src[at] (a '"' or '\'').
+  // Returns the index just past the closing quote.
+  auto lex_quoted = [&](std::size_t at) -> std::size_t {
+    const char quote = src[at];
+    const int start_line = line;
+    std::size_t j = at + 1;
+    std::string body;
+    while (j < n && src[j] != quote) {
+      if (src[j] == '\\' && j + 1 < n) {
+        body.push_back(src[j]);
+        body.push_back(src[j + 1]);
+        j += 2;
+        continue;
+      }
+      if (src[j] == '\n') {
+        // Unterminated literal: stop at end of line rather than swallowing
+        // the rest of the file (keeps one stray quote from desynchronizing
+        // every later comment/string decision).
+        break;
+      }
+      body.push_back(src[j++]);
+    }
+    out.push_back(
+        {quote == '"' ? Tok::kString : Tok::kChar, body, start_line});
+    return j < n && src[j] == quote ? j + 1 : j;
+  };
+
   while (i < n) {
     const char c = src[i];
     if (c == '\n') {
@@ -61,8 +140,8 @@ inline std::vector<Token> tokenize(std::string_view src) {
     if (c == '/' && peek(1) == '/') {
       const std::size_t start = i + 2;
       while (i < n && src[i] != '\n') ++i;
-      out.push_back({Tok::kComment, std::string(src.substr(start, i - start)),
-                     line});
+      out.push_back(
+          {Tok::kComment, std::string(src.substr(start, i - start)), line});
       continue;
     }
     if (c == '/' && peek(1) == '*') {
@@ -73,78 +152,93 @@ inline std::vector<Token> tokenize(std::string_view src) {
         if (src[i] == '\n') ++line;
         ++i;
       }
-      out.push_back({Tok::kComment,
-                     std::string(src.substr(start, i - start)), start_line});
+      out.push_back({Tok::kComment, std::string(src.substr(start, i - start)),
+                     start_line});
       if (i < n) i += 2;  // closing */
       continue;
     }
-    // Raw string literal R"delim(...)delim".
-    if (c == 'R' && peek(1) == '"') {
-      std::size_t j = i + 2;
-      std::string delim;
-      while (j < n && src[j] != '(') delim.push_back(src[j++]);
-      const std::string close = ")" + delim + "\"";
-      const std::size_t body = j + 1;
-      const std::size_t end = src.find(close, body);
-      const int start_line = line;
-      const std::size_t stop = end == std::string_view::npos ? n : end;
-      for (std::size_t k = i; k < stop; ++k) {
-        if (src[k] == '\n') ++line;
-      }
-      out.push_back({Tok::kString,
-                     std::string(src.substr(body, stop - body)), start_line});
-      i = end == std::string_view::npos ? n : end + close.size();
-      continue;
-    }
-    // String / char literals (with escape handling).
-    if (c == '"' || c == '\'') {
-      const char quote = c;
-      const int start_line = line;
-      std::size_t j = i + 1;
-      std::string body;
-      while (j < n && src[j] != quote) {
-        if (src[j] == '\\' && j + 1 < n) {
-          body.push_back(src[j]);
-          body.push_back(src[j + 1]);
-          j += 2;
-          continue;
-        }
-        if (src[j] == '\n') ++line;  // unterminated; keep line count sane
-        body.push_back(src[j++]);
-      }
-      out.push_back({quote == '"' ? Tok::kString : Tok::kChar, body,
-                     start_line});
-      i = j < n ? j + 1 : n;
-      continue;
-    }
+    // Identifiers — including encoding prefixes of string/char literals
+    // (u8R"(...)" must lex as ONE string token, not ident + string).
     if (ident_start(c)) {
       std::size_t j = i;
       while (j < n && ident_char(src[j])) ++j;
-      out.push_back({Tok::kIdent, std::string(src.substr(i, j - i)), line});
-      i = j;
-      continue;
-    }
-    if (std::isdigit(static_cast<unsigned char>(c))) {
-      std::size_t j = i;
-      while (j < n && (ident_char(src[j]) || src[j] == '.' ||
-                       ((src[j] == '+' || src[j] == '-') && j > i &&
-                        (src[j - 1] == 'e' || src[j - 1] == 'E' ||
-                         src[j - 1] == 'p' || src[j - 1] == 'P')))) {
-        ++j;
+      const std::string_view id = src.substr(i, j - i);
+      if (j < n && (src[j] == '"' || src[j] == '\'') &&
+          detail::is_literal_prefix(id)) {
+        if (id.back() == 'R' && src[j] == '"') {
+          i = lex_raw_string(j - 1);  // lex_raw_string expects the 'R'
+        } else {
+          i = lex_quoted(j);
+        }
+        // Literal suffix (operator""): attach silently, e.g. "abc"sv.
+        while (i < n && ident_char(src[i])) ++i;
+        continue;
       }
-      out.push_back({Tok::kNumber, std::string(src.substr(i, j - i)), line});
+      out.push_back({Tok::kIdent, std::string(id), line});
       i = j;
       continue;
     }
-    // Punctuation: greedily take the few multi-char operators the rules care
-    // about; everything else is a single character.
-    static constexpr std::string_view kTwo[] = {"==", "!=", "::", "->", "<=",
-                                                ">=", "&&", "||", "<<", ">>"};
-    std::string p(1, c);
-    for (const auto& two : kTwo) {
-      if (c == two[0] && peek(1) == two[1]) {
-        p = two;
+    // String / char literals (with escape handling), plus udl suffixes.
+    if (c == '"' || c == '\'') {
+      i = lex_quoted(i);
+      while (i < n && ident_char(src[i])) ++i;  // "x"sv, 'c'_suf
+      continue;
+    }
+    // Numbers: pp-numbers with digit separators (1'000, 0xFF'FF), dots,
+    // exponents (1e-9, 0x1p+3) and literal suffixes (10ms, 1.5f).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      std::size_t j = i;
+      while (j < n) {
+        const char d = src[j];
+        if (ident_char(d) || d == '.') {
+          ++j;
+          continue;
+        }
+        if (d == '\'' && j > i && ident_char(src[j - 1]) && j + 1 < n &&
+            ident_char(src[j + 1])) {
+          ++j;  // digit separator, not a char literal
+          continue;
+        }
+        if ((d == '+' || d == '-') && j > i &&
+            (src[j - 1] == 'e' || src[j - 1] == 'E' || src[j - 1] == 'p' ||
+             src[j - 1] == 'P')) {
+          ++j;  // exponent sign
+          continue;
+        }
         break;
+      }
+      std::string text(src.substr(i, j - i));
+      // Strip separators so "1'000" and "1000" compare equal downstream.
+      std::string cleaned;
+      cleaned.reserve(text.size());
+      for (char d : text) {
+        if (d != '\'') cleaned.push_back(d);
+      }
+      out.push_back({Tok::kNumber, cleaned, line});
+      i = j;
+      continue;
+    }
+    // Punctuation: greedily take the multi-char operators the parser cares
+    // about; everything else is a single character.
+    static constexpr std::string_view kThree[] = {"<=>", "->*", "...", "<<=",
+                                                  ">>="};
+    static constexpr std::string_view kTwo[] = {
+        "==", "!=", "::", "->", "<=", ">=", "&&", "||", "<<", ">>",
+        "+=", "-=", "*=", "/=", "|=", "&=", "^=", "%=", "++", "--"};
+    std::string p(1, c);
+    for (const auto& three : kThree) {
+      if (src.substr(i, 3) == three) {
+        p = three;
+        break;
+      }
+    }
+    if (p.size() == 1) {
+      for (const auto& two : kTwo) {
+        if (c == two[0] && peek(1) == two[1]) {
+          p = two;
+          break;
+        }
       }
     }
     out.push_back({Tok::kPunct, p, line});

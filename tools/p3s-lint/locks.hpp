@@ -1,0 +1,393 @@
+// p3s-lint concurrency passes over the symbol graph:
+//
+//   guarded-by   every access to a field annotated P3S_GUARDED_BY(mu) must
+//                happen with mu lexically held (lock_guard/unique_lock/
+//                scoped_lock scope, an explicit mu.lock(), or inside a
+//                function annotated P3S_REQUIRES(mu)). Constructors and
+//                destructors of the owning record are exempt (no sharing
+//                yet / anymore).
+//   lock-order   the cross-TU lock acquisition graph: an edge A -> B for
+//                every site that acquires B while holding A, including
+//                acquisitions reached through calls. Any cycle is flagged —
+//                that is a latent deadlock even if today's schedules dodge
+//                it.
+//   no-block     pool task lambdas (arguments to Pool::parallel_for /
+//                parallel_find / submit / async) and functions annotated
+//                P3S_NO_BLOCK must not reach a blocking operation: sleep_*,
+//                condvar/future wait*, thread join, or any function
+//                annotated P3S_BLOCKING (net::Network::send — the machine
+//                check behind the "sends stay serial" invariant).
+//
+// Annotations are merged across declarations and out-of-line definitions by
+// (record, name), so a P3S_REQUIRES in pool.hpp covers the body in pool.cpp.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+
+namespace p3s::lint {
+
+class LockPass {
+ public:
+  LockPass(const Project& proj, Findings& out) : proj_(proj), out_(out) {
+    build_annotation_index();
+  }
+
+  void run() {
+    check_guarded_by();
+    check_lock_order();
+    check_no_block();
+  }
+
+ private:
+  const Project& proj_;
+  Findings& out_;
+  // (record "::" name) -> merged annotations across decls and definitions.
+  std::map<std::string, std::vector<Annotation>> merged_annos_;
+  std::map<int, std::string> blocks_via_;  // fid -> blocking callee witness
+  std::map<int, int> may_block_memo_;      // fid -> 0/1
+
+  const Function& fn(int id) const {
+    return proj_.functions[static_cast<std::size_t>(id)];
+  }
+  const FileUnit& unit_of(const Function& f) const {
+    return proj_.units[static_cast<std::size_t>(f.unit)];
+  }
+
+  static std::string anno_key(const Function& f) {
+    return f.record + "::" + f.name;
+  }
+
+  void build_annotation_index() {
+    for (const Function& f : proj_.functions) {
+      if (f.annotations.empty()) continue;
+      auto& v = merged_annos_[anno_key(f)];
+      v.insert(v.end(), f.annotations.begin(), f.annotations.end());
+    }
+  }
+
+  bool has_anno(const Function& f, const std::string& name,
+                std::string* arg = nullptr) const {
+    auto it = merged_annos_.find(anno_key(f));
+    if (it == merged_annos_.end()) return false;
+    for (const Annotation& a : it->second) {
+      if (a.name == name) {
+        if (arg != nullptr) *arg = a.arg;
+        return true;
+      }
+    }
+    return false;
+  }
+
+  // Normalize a guard name from an annotation into the same key space the
+  // parser uses for locksets: "Record::mu" when mu is a field of `record`,
+  // else "::mu".
+  std::string guard_key(const std::string& record,
+                        const std::string& guard) const {
+    const Record* r = proj_.find_record(record);
+    if (r != nullptr && r->field(guard) != nullptr) {
+      return record + "::" + guard;
+    }
+    return "::" + guard;
+  }
+
+  // Keys held via P3S_REQUIRES on this function or any enclosing lambda
+  // parent (a lambda created while the lock is required inherits it).
+  std::set<std::string> required_keys(const Function& f) const {
+    std::set<std::string> keys;
+    for (const Function* cur = &f;;) {
+      std::string arg;
+      if (has_anno(*cur, "P3S_REQUIRES", &arg) && !arg.empty()) {
+        const std::string rec =
+            !cur->record.empty() ? cur->record : std::string();
+        keys.insert(rec.empty() ? "::" + arg : guard_key(rec, arg));
+      }
+      if (cur->parent < 0) break;
+      cur = &fn(cur->parent);
+    }
+    return keys;
+  }
+
+  // --- guarded-by -----------------------------------------------------------
+
+  void check_guarded_by() {
+    for (const Function& f : proj_.functions) {
+      if (!f.has_body) continue;
+      const std::set<std::string> required = required_keys(f);
+      for (const FieldAccess& a : f.accesses) {
+        const Record* r = proj_.find_record(a.record);
+        if (r == nullptr) continue;
+        const Field* fld = r->field(a.field);
+        if (fld == nullptr || fld->guarded_by.empty()) continue;
+        // Ctors/dtors of the record own the object exclusively.
+        const Function* owner = &f;
+        while (owner->parent >= 0) owner = &fn(owner->parent);
+        if (owner->name == a.record || owner->name == "~" + a.record) continue;
+        const std::string need = guard_key(a.record, fld->guarded_by);
+        bool held = required.count(need) != 0;
+        for (const std::string& k : a.locks) {
+          if (k == need) held = true;
+        }
+        if (!held) {
+          out_.report(unit_of(f), a.line, "guarded-by",
+                      "field '" + a.record + "::" + a.field +
+                          "' (P3S_GUARDED_BY(" + fld->guarded_by +
+                          ")) accessed without holding '" + fld->guarded_by +
+                          "' in '" + f.qual + "'");
+        }
+      }
+    }
+  }
+
+  // --- lock-order -----------------------------------------------------------
+
+  struct EdgeSite {
+    int unit = -1;
+    int line = 0;
+  };
+
+  void check_lock_order() {
+    // Direct acquisition events were recorded as synthetic "<lock>" calls
+    // carrying the already-held set. Summaries: every key a function may
+    // acquire anywhere inside itself or its callees.
+    std::map<int, std::set<std::string>> acquires;
+    for (std::size_t i = 0; i < proj_.functions.size(); ++i) {
+      for (const CallSite& cs : proj_.functions[i].calls) {
+        if (cs.callee == "<lock>") {
+          acquires[static_cast<int>(i)].insert(cs.base_text);
+        }
+      }
+    }
+    // Fixpoint over name-resolved calls (lambdas roll up into parents too:
+    // a lambda invoked by pool machinery still acquires what it acquires).
+    bool changed = true;
+    int guard = 0;
+    while (changed && guard++ < 12) {
+      changed = false;
+      for (std::size_t i = 0; i < proj_.functions.size(); ++i) {
+        const Function& f = proj_.functions[i];
+        auto& mine = acquires[static_cast<int>(i)];
+        const std::size_t before = mine.size();
+        for (const CallSite& cs : f.calls) {
+          if (cs.callee == "<lock>") continue;
+          const std::vector<int>* cands = proj_.candidates(cs.callee);
+          if (cands == nullptr) continue;
+          for (int c : *cands) {
+            if (!fn(c).has_body) continue;
+            const auto it = acquires.find(c);
+            if (it == acquires.end()) continue;
+            mine.insert(it->second.begin(), it->second.end());
+          }
+        }
+        if (mine.size() != before) changed = true;
+      }
+    }
+
+    // Edges: held -> newly acquired, both for direct <lock> events and for
+    // calls made with locks held into lock-acquiring callees.
+    std::map<std::string, std::map<std::string, EdgeSite>> edges;
+    for (std::size_t i = 0; i < proj_.functions.size(); ++i) {
+      const Function& f = proj_.functions[i];
+      for (const CallSite& cs : f.calls) {
+        if (cs.locks.empty()) continue;
+        std::set<std::string> acquired;
+        if (cs.callee == "<lock>") {
+          acquired.insert(cs.base_text);
+        } else {
+          const std::vector<int>* cands = proj_.candidates(cs.callee);
+          if (cands != nullptr) {
+            for (int c : *cands) {
+              const auto it = acquires.find(c);
+              if (it != acquires.end() && fn(c).has_body) {
+                acquired.insert(it->second.begin(), it->second.end());
+              }
+            }
+          }
+        }
+        for (const std::string& held : cs.locks) {
+          for (const std::string& next : acquired) {
+            if (next == held) continue;
+            if (edges[held].count(next) == 0) {
+              edges[held][next] = {f.unit, cs.line};
+            }
+          }
+        }
+      }
+    }
+
+    // Cycle detection: DFS with colors; report each cycle once.
+    std::map<std::string, int> color;  // 0 white, 1 gray, 2 black
+    std::vector<std::string> stack;
+    std::set<std::string> reported;
+    std::function<void(const std::string&)> dfs = [&](const std::string& v) {
+      color[v] = 1;
+      stack.push_back(v);
+      auto it = edges.find(v);
+      if (it != edges.end()) {
+        for (const auto& [w, site] : it->second) {
+          if (color[w] == 1) {
+            // Found a cycle: stack suffix from w.
+            std::vector<std::string> cyc;
+            for (std::size_t k = stack.size(); k-- > 0;) {
+              cyc.push_back(stack[k]);
+              if (stack[k] == w) break;
+            }
+            std::string canon;
+            {
+              std::set<std::string> nodes(cyc.begin(), cyc.end());
+              for (const std::string& nd : nodes) canon += nd + "|";
+            }
+            if (reported.insert(canon).second) {
+              std::string msg = "lock-order cycle: ";
+              for (std::size_t k = cyc.size(); k-- > 0;) {
+                msg += cyc[k] + " -> ";
+              }
+              msg += w;
+              const FileUnit& u =
+                  proj_.units[static_cast<std::size_t>(site.unit)];
+              out_.report(u, site.line, "lock-order", msg);
+            }
+          } else if (color[w] == 0) {
+            dfs(w);
+          }
+        }
+      }
+      stack.pop_back();
+      color[v] = 2;
+    };
+    for (const auto& [v, _] : edges) {
+      if (color[v] == 0) dfs(v);
+    }
+  }
+
+  // --- no-block -------------------------------------------------------------
+
+  static const std::set<std::string>& blocking_primitives() {
+    static const std::set<std::string> b = {
+        "sleep_for", "sleep_until", "wait", "wait_for", "wait_until", "join"};
+    return b;
+  }
+
+  bool callee_annotated_blocking(const std::string& callee) const {
+    const std::vector<int>* cands = proj_.candidates(callee);
+    if (cands == nullptr) return false;
+    for (int c : *cands) {
+      if (has_anno(fn(c), "P3S_BLOCKING")) return true;
+    }
+    return false;
+  }
+
+  bool may_block(int fid, std::set<int>& visiting) {
+    auto memo = may_block_memo_.find(fid);
+    if (memo != may_block_memo_.end()) return memo->second != 0;
+    if (!visiting.insert(fid).second) return false;  // cycle: assume no
+    const Function& f = fn(fid);
+    bool blocks = false;
+    for (const CallSite& cs : f.calls) {
+      if (cs.callee == "<lock>") continue;
+      if (blocking_primitives().count(cs.callee) != 0) {
+        blocks_via_[fid] = cs.callee;
+        blocks = true;
+        break;
+      }
+      if (callee_annotated_blocking(cs.callee)) {
+        blocks_via_[fid] = cs.callee + " [P3S_BLOCKING]";
+        blocks = true;
+        break;
+      }
+      const std::vector<int>* cands = proj_.candidates(cs.callee);
+      if (cands == nullptr) continue;
+      for (int c : *cands) {
+        if (!fn(c).has_body || fn(c).is_lambda) continue;
+        if (may_block(c, visiting)) {
+          blocks_via_[fid] = cs.callee + " -> " + blocks_via_[c];
+          blocks = true;
+          break;
+        }
+      }
+      if (blocks) break;
+    }
+    // A lambda's nested lambdas run when invoked; conservative: roll up.
+    if (!blocks) {
+      for (int lid : f.lambdas) {
+        if (may_block(lid, visiting)) {
+          blocks_via_[fid] = "<lambda> -> " + blocks_via_[lid];
+          blocks = true;
+          break;
+        }
+      }
+    }
+    visiting.erase(fid);
+    may_block_memo_[fid] = blocks ? 1 : 0;
+    return blocks;
+  }
+
+  static bool pool_entry(const CallSite& cs) {
+    if (cs.callee == "parallel_for" || cs.callee == "parallel_find") {
+      return true;
+    }
+    if (cs.callee == "submit" || cs.callee == "async") {
+      return cs.base_text.find("ool") != std::string::npos ||
+             cs.base_text.find("pool") != std::string::npos;
+    }
+    return false;
+  }
+
+  void check_no_block() {
+    // Roots: lambdas handed to pool entry points...
+    std::set<int> roots;
+    for (std::size_t i = 0; i < proj_.functions.size(); ++i) {
+      const Function& f = proj_.functions[i];
+      for (const CallSite& cs : f.calls) {
+        if (!pool_entry(cs)) continue;
+        for (const Range& arg : cs.args) {
+          // Literal lambda whose body starts inside this argument range.
+          for (int lid : f.lambdas) {
+            const Range b = fn(lid).body;
+            if (b.begin >= arg.begin && b.begin < arg.end) roots.insert(lid);
+          }
+          // Or a named local lambda passed by identifier.
+          const std::vector<Token>& t =
+              proj_.units[static_cast<std::size_t>(f.unit)].code;
+          for (std::size_t k = arg.begin; k < arg.end && k < t.size(); ++k) {
+            if (t[k].kind != Tok::kIdent) continue;
+            auto it = f.local_lambdas.find(t[k].text);
+            if (it != f.local_lambdas.end()) roots.insert(it->second);
+          }
+        }
+      }
+    }
+    // ...and functions annotated P3S_NO_BLOCK.
+    for (std::size_t i = 0; i < proj_.functions.size(); ++i) {
+      const Function& f = proj_.functions[i];
+      if (f.has_body && has_anno(f, "P3S_NO_BLOCK")) {
+        roots.insert(static_cast<int>(i));
+      }
+    }
+    for (int root : roots) {
+      std::set<int> visiting;
+      if (may_block(root, visiting)) {
+        const Function& f = fn(root);
+        const std::string what =
+            f.is_lambda ? "pool task lambda in '" +
+                              (f.parent >= 0 ? fn(f.parent).qual : f.qual) + "'"
+                        : "P3S_NO_BLOCK function '" + f.qual + "'";
+        out_.report(unit_of(f), f.line, "no-block",
+                    what + " may block: " + blocks_via_[root] +
+                        " (pool tasks must stay non-blocking; sends stay "
+                        "serial on the caller)");
+      }
+    }
+  }
+};
+
+inline void run_locks(const Project& proj, Findings& out) {
+  LockPass(proj, out).run();
+}
+
+}  // namespace p3s::lint

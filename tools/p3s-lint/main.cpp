@@ -1,28 +1,39 @@
-// p3s-lint: project-rule static analyzer for the P3S tree. Tokenizer-level
-// (tools/p3s-lint/lexer.hpp), no libclang. Enforced rules, each independently
-// suppressible with `// p3s:lint-allow(<rule>)` on the same or preceding
-// line:
+// p3s-lint: project-rule static analyzer for the P3S tree. Built on a
+// lightweight per-TU symbol graph (lexer.hpp -> parse.hpp -> ir.hpp), no
+// libclang. One analyzer, one suppression syntax
+// (`// p3s:lint-allow(<rule>)` on the same or preceding line), one finding
+// format. Rules:
 //
 //   layering        src/<module>/ may only include the modules its row in
 //                   the layering DAG allows (DESIGN.md "Static analysis &
-//                   verification"). The primitive layers (common, math,
-//                   crypto, pairing) are hermetic: no net/obs/sim.
+//                   verification").
 //   banned-api      libc randomness (rand/srand/...), unbounded string
 //                   functions (strcpy/sprintf/...), wall-clock seeding
 //                   (time(nullptr)), anywhere under src/.
 //   secret-compare  secret-bearing modules (crypto, math, pairing, pbe, abe)
-//                   must compare MAC/tag/digest material with ct_equal:
-//                   memcmp/bcmp and ==/!= against secret-named operands are
-//                   flagged; system_clock has no business there either.
+//                   must compare MAC/tag/digest material with ct_equal;
+//                   system_clock has no business there either.
 //   metric-vocab    every "p3s.*" metric-name literal in src/ must be
 //                   declared in src/obs/catalog.hpp AND documented in
-//                   OBSERVABILITY.md (the closed vocabulary is lint-enforced
-//                   end to end, not just inside src/obs).
+//                   OBSERVABILITY.md.
+//   secret-taint    registry-seeded taint (key/sk/ikm/prk/secret/password
+//                   names, fields and params) propagated through
+//                   assignments, lambdas and returns; flows into logs,
+//                   branches, ==/memcmp, metric labels, or Writer
+//                   serialization outside seal() are findings (taint.hpp).
+//   guarded-by      fields annotated P3S_GUARDED_BY(mu) are only touched
+//                   with mu held (locks.hpp).
+//   lock-order      the cross-TU lock acquisition graph is cycle-free.
+//   no-block        pool task lambdas and P3S_NO_BLOCK functions never
+//                   reach sleep/wait/join or a P3S_BLOCKING callee.
 //
 // Usage: p3s-lint [--root <repo-root>] [--selftest <fixture-root>]
-// Exit: 0 clean, 1 findings, 2 usage/IO error.
+//                 [--format=text|json|sarif] [--budget-seconds <n>]
+// Exit: 0 clean, 1 findings (or budget exceeded), 2 usage/IO error.
 
 #include <algorithm>
+#include <chrono>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -32,93 +43,18 @@
 #include <string>
 #include <vector>
 
+#include "emit.hpp"
+#include "ir.hpp"
 #include "lexer.hpp"
+#include "locks.hpp"
+#include "parse.hpp"
+#include "rules.hpp"
+#include "taint.hpp"
 
 namespace fs = std::filesystem;
-using p3s::lint::Tok;
-using p3s::lint::Token;
+using namespace p3s::lint;
 
 namespace {
-
-struct Finding {
-  std::string file;  // repo-relative
-  int line;
-  std::string rule;
-  std::string message;
-};
-
-// --- project configuration --------------------------------------------------
-
-// Layering DAG: module -> modules it may include (besides itself). A module
-// directory under src/ that has no row here is itself a lint error, so the
-// table can never silently fall out of date.
-const std::map<std::string, std::set<std::string>>& layering_dag() {
-  static const std::map<std::string, std::set<std::string>> dag = {
-      {"common", {}},
-      {"math", {"common"}},
-      {"crypto", {"common"}},
-      {"pairing", {"common", "crypto", "math"}},
-      {"abe", {"common", "crypto", "math", "pairing"}},
-      {"pbe", {"common", "crypto", "math", "pairing", "exec", "obs"}},
-      {"exec", {"common", "obs"}},
-      {"obs", {"common"}},
-      {"net", {"common", "crypto", "math", "pairing", "obs"}},
-      {"sim", {"common", "net", "obs"}},
-      {"broker", {"common", "net", "obs", "pbe"}},
-      {"model", {"common", "gadget", "obs", "pbe", "sim"}},
-      {"gadget", {"common"}},
-      {"p3s",
-       {"abe", "common", "crypto", "exec", "math", "net", "obs", "pairing",
-        "pbe"}},
-  };
-  return dag;
-}
-
-// Modules whose files handle key material: constant-time compare discipline
-// applies, and wall-clock types are suspicious.
-const std::set<std::string>& secret_modules() {
-  static const std::set<std::string> m = {"crypto", "math", "pairing", "pbe",
-                                          "abe"};
-  return m;
-}
-
-// Identifiers banned as calls everywhere under src/.
-const std::set<std::string>& banned_calls() {
-  static const std::set<std::string> b = {
-      "rand",    "srand",   "rand_r", "random",  "srandom", "drand48",
-      "strcpy", "strcat",  "sprintf", "vsprintf", "gets",   "tmpnam",
-  };
-  return b;
-}
-
-// Operand names that mark a ==/!= as a secret compare.
-bool secret_operand(const std::string& id) {
-  static const std::set<std::string> exact = {"tag",    "mac",     "hmac",
-                                              "digest", "secret",  "expected"};
-  if (exact.count(id) != 0) return true;
-  for (const char* suffix : {"_tag", "_mac", "_digest", "_secret"}) {
-    const std::string s(suffix);
-    if (id.size() > s.size() &&
-        id.compare(id.size() - s.size(), s.size(), s) == 0) {
-      return true;
-    }
-  }
-  return false;
-}
-
-bool is_metric_name(const std::string& s) {
-  if (s.rfind("p3s.", 0) != 0 || s.size() <= 4) return false;
-  for (char c : s) {
-    if (!(std::islower(static_cast<unsigned char>(c)) ||
-          std::isdigit(static_cast<unsigned char>(c)) || c == '.' ||
-          c == '_')) {
-      return false;
-    }
-  }
-  return true;
-}
-
-// --- helpers ----------------------------------------------------------------
 
 std::string read_file(const fs::path& p) {
   std::ifstream in(p, std::ios::binary);
@@ -127,331 +63,118 @@ std::string read_file(const fs::path& p) {
   return ss.str();
 }
 
-// Suppressions: rule -> set of lines where it is allowed. A comment on line
-// L allows the rule on L and L+1 (so both trailing and preceding-line
-// placement work).
-std::map<std::string, std::set<int>> collect_suppressions(
-    const std::vector<Token>& toks) {
-  std::map<std::string, std::set<int>> allow;
-  const std::string marker = "p3s:lint-allow(";
-  for (const Token& t : toks) {
-    if (t.kind != Tok::kComment) continue;
-    std::size_t at = 0;
-    while ((at = t.text.find(marker, at)) != std::string::npos) {
-      const std::size_t start = at + marker.size();
-      const std::size_t end = t.text.find(')', start);
-      if (end == std::string::npos) break;
-      const std::string rule = t.text.substr(start, end - start);
-      allow[rule].insert(t.line);
-      allow[rule].insert(t.line + 1);
-      at = end;
-    }
-  }
-  return allow;
+std::string module_of(const std::string& rel) {
+  const std::string prefix = "src/";
+  if (rel.rfind(prefix, 0) != 0) return "";
+  const std::size_t slash = rel.find('/', prefix.size());
+  if (slash == std::string::npos) return "";
+  return rel.substr(prefix.size(), slash - prefix.size());
 }
 
-struct Analyzer {
-  fs::path root;
-  std::set<std::string> catalog;  // names declared in src/obs/catalog.hpp
-  std::set<std::string> docs;     // names mentioned in OBSERVABILITY.md
-  bool vocab_sources_ok = false;
+MetricVocab load_vocab(const fs::path& root) {
+  MetricVocab v;
+  const fs::path cat = root / "src" / "obs" / "catalog.hpp";
+  const fs::path md = root / "OBSERVABILITY.md";
+  if (!fs::exists(cat) || !fs::exists(md)) return v;
+  for (const Token& t : tokenize(read_file(cat))) {
+    if (t.kind == Tok::kString && is_metric_name(t.text)) {
+      v.catalog.insert(t.text);
+    }
+  }
+  // Docs side: any p3s.<vocab-charset> run in the markdown counts as
+  // documented (labeled references like `p3s.rs.fetch_total{status=}`
+  // collapse to the base name at the '{').
+  const std::string text = read_file(md);
+  std::size_t at = 0;
+  while ((at = text.find("p3s.", at)) != std::string::npos) {
+    std::size_t end = at + 4;
+    while (end < text.size() &&
+           (std::islower(static_cast<unsigned char>(text[end])) ||
+            std::isdigit(static_cast<unsigned char>(text[end])) ||
+            text[end] == '.' || text[end] == '_')) {
+      ++end;
+    }
+    std::string name = text.substr(at, end - at);
+    while (!name.empty() && name.back() == '.') name.pop_back();
+    if (is_metric_name(name)) v.docs.insert(name);
+    at = end;
+  }
+  v.ok = true;
+  return v;
+}
+
+struct RunResult {
   std::vector<Finding> findings;
-
-  void load_vocab() {
-    const fs::path cat = root / "src" / "obs" / "catalog.hpp";
-    const fs::path md = root / "OBSERVABILITY.md";
-    if (!fs::exists(cat) || !fs::exists(md)) return;
-    for (const Token& t : p3s::lint::tokenize(read_file(cat))) {
-      if (t.kind == Tok::kString && is_metric_name(t.text)) {
-        catalog.insert(t.text);
-      }
-    }
-    // Docs side: any p3s.<vocab-charset> run in the markdown counts as
-    // documented (labeled references like `p3s.rs.fetch_total{status=}`
-    // collapse to the base name at the '{').
-    const std::string text = read_file(md);
-    std::size_t at = 0;
-    while ((at = text.find("p3s.", at)) != std::string::npos) {
-      std::size_t end = at + 4;
-      while (end < text.size() &&
-             (std::islower(static_cast<unsigned char>(text[end])) ||
-              std::isdigit(static_cast<unsigned char>(text[end])) ||
-              text[end] == '.' || text[end] == '_')) {
-        ++end;
-      }
-      std::string name = text.substr(at, end - at);
-      while (!name.empty() && name.back() == '.') name.pop_back();
-      if (is_metric_name(name)) docs.insert(name);
-      at = end;
-    }
-    vocab_sources_ok = true;
-  }
-
-  void report(const std::string& file, int line, const std::string& rule,
-              const std::string& message,
-              const std::map<std::string, std::set<int>>& allow) {
-    auto it = allow.find(rule);
-    if (it != allow.end() && it->second.count(line) != 0) return;
-    findings.push_back({file, line, rule, message});
-  }
-
-  void check_file(const fs::path& path) {
-    const std::string rel = fs::relative(path, root).generic_string();
-    // Module = first component under src/.
-    std::string module;
-    {
-      const std::string prefix = "src/";
-      const std::string r = rel;
-      if (r.rfind(prefix, 0) == 0) {
-        const std::size_t slash = r.find('/', prefix.size());
-        if (slash != std::string::npos) {
-          module = r.substr(prefix.size(), slash - prefix.size());
-        }
-      }
-    }
-    const auto& dag = layering_dag();
-    const auto row = dag.find(module);
-    const bool secret = secret_modules().count(module) != 0;
-    const bool is_catalog = rel == "src/obs/catalog.hpp";
-
-    const std::vector<Token> toks = p3s::lint::tokenize(read_file(path));
-    const auto allow = collect_suppressions(toks);
-
-    if (!module.empty() && row == dag.end()) {
-      report(rel, 1, "layering",
-             "module 'src/" + module +
-                 "/' has no row in the layering DAG (tools/p3s-lint); "
-                 "declare its allowed dependencies",
-             allow);
-    }
-
-    auto next_code = [&](std::size_t i) -> std::size_t {
-      for (std::size_t j = i + 1; j < toks.size(); ++j) {
-        if (toks[j].kind != Tok::kComment) return j;
-      }
-      return toks.size();
-    };
-    auto prev_code = [&](std::size_t i) -> std::size_t {
-      for (std::size_t j = i; j-- > 0;) {
-        if (toks[j].kind != Tok::kComment) return j;
-      }
-      return toks.size();
-    };
-
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      const Token& t = toks[i];
-
-      // --- include directives: layering DAG -------------------------------
-      if (t.kind == Tok::kPunct && t.text == "#") {
-        const std::size_t j = next_code(i);
-        if (j < toks.size() && toks[j].kind == Tok::kIdent &&
-            toks[j].text == "include") {
-          const std::size_t k = next_code(j);
-          if (k < toks.size() && toks[k].kind == Tok::kString) {
-            const std::string& inc = toks[k].text;
-            const std::size_t slash = inc.find('/');
-            if (slash != std::string::npos && row != dag.end()) {
-              const std::string dep = inc.substr(0, slash);
-              if (dag.count(dep) != 0 && dep != module &&
-                  row->second.count(dep) == 0) {
-                report(rel, t.line, "layering",
-                       "module '" + module + "' may not include '" + dep +
-                           "/' (include \"" + inc + "\")",
-                       allow);
-              }
-            }
-          }
-        }
-        continue;
-      }
-
-      if (t.kind != Tok::kIdent) continue;
-      const std::size_t j = next_code(i);
-      const bool call = j < toks.size() && toks[j].kind == Tok::kPunct &&
-                        toks[j].text == "(";
-      // Distinguish libc calls from project members/declarations that share
-      // a name (Guid::random, rng.random): member access and non-std
-      // qualification are fine; `Type name(` declarations are fine; a
-      // keyword before the name (return/case/...) still means a call.
-      bool libc_context = call;
-      if (call) {
-        const std::size_t p = prev_code(i);
-        if (p < toks.size()) {
-          const Token& pt = toks[p];
-          if (pt.kind == Tok::kPunct && (pt.text == "." || pt.text == "->")) {
-            libc_context = false;  // member call
-          } else if (pt.kind == Tok::kPunct && pt.text == "::") {
-            const std::size_t pp = prev_code(p);
-            if (pp < toks.size() && toks[pp].kind == Tok::kIdent &&
-                toks[pp].text != "std") {
-              libc_context = false;  // SomeClass::name(...)
-            }
-          } else if (pt.kind == Tok::kIdent) {
-            static const std::set<std::string> kExprKeywords = {
-                "return", "case",  "goto",   "co_return", "co_yield",
-                "throw",  "new",   "delete", "sizeof",    "if",
-                "while",  "for",   "switch", "and",       "or",
-                "not",    "else"};
-            if (kExprKeywords.count(pt.text) == 0) {
-              libc_context = false;  // `Type name(` declaration
-            }
-          }
-        }
-      }
-
-      // --- banned APIs ----------------------------------------------------
-      if (libc_context && banned_calls().count(t.text) != 0) {
-        report(rel, t.line, "banned-api",
-               "call to '" + t.text + "' is banned (use common/rng.hpp / "
-               "bounded formatting instead)",
-               allow);
-      }
-      // Wall-clock seeding: time(nullptr) / time(NULL) / time(0).
-      if (call && t.text == "time") {
-        const std::size_t a = next_code(j);
-        if (a < toks.size() &&
-            ((toks[a].kind == Tok::kIdent &&
-              (toks[a].text == "nullptr" || toks[a].text == "NULL")) ||
-             (toks[a].kind == Tok::kNumber && toks[a].text == "0"))) {
-          const std::size_t close = next_code(a);
-          if (close < toks.size() && toks[close].kind == Tok::kPunct &&
-              toks[close].text == ")") {
-            report(rel, t.line, "banned-api",
-                   "wall-clock seeding via time(...) is banned; seed from "
-                   "common/rng.hpp",
-                   allow);
-          }
-        }
-      }
-
-      // --- secret-bearing module discipline -------------------------------
-      if (secret) {
-        if (call && (t.text == "memcmp" || t.text == "bcmp")) {
-          report(rel, t.line, "secret-compare",
-                 "'" + t.text + "' in a secret-bearing module; use ct_equal "
-                 "(crypto/ct.hpp)",
-                 allow);
-        }
-        if (t.text == "system_clock") {
-          report(rel, t.line, "secret-compare",
-                 "wall-clock time in a secret-bearing module; use the "
-                 "steady clock",
-                 allow);
-        }
-      }
-
-      // --- metric vocabulary ---------------------------------------------
-      // (string literals are handled below; identifiers fall through)
-    }
-
-    // Second pass over non-identifier token kinds that the loop above skips.
-    for (std::size_t i = 0; i < toks.size(); ++i) {
-      const Token& t = toks[i];
-      if (secret && t.kind == Tok::kPunct &&
-          (t.text == "==" || t.text == "!=")) {
-        const std::size_t p = prev_code(i);
-        const std::size_t nx = next_code(i);
-        std::string operand;
-        if (p < toks.size() && toks[p].kind == Tok::kIdent &&
-            secret_operand(toks[p].text)) {
-          operand = toks[p].text;
-        } else if (nx < toks.size() && toks[nx].kind == Tok::kIdent &&
-                   secret_operand(toks[nx].text)) {
-          operand = toks[nx].text;
-        }
-        if (!operand.empty()) {
-          report(rel, t.line, "secret-compare",
-                 "'" + t.text + "' on secret-named operand '" + operand +
-                     "'; use ct_equal (crypto/ct.hpp)",
-                 allow);
-        }
-      }
-      if (t.kind == Tok::kString && !is_catalog && is_metric_name(t.text) &&
-          vocab_sources_ok) {
-        if (catalog.count(t.text) == 0) {
-          report(rel, t.line, "metric-vocab",
-                 "metric name \"" + t.text +
-                     "\" is not declared in src/obs/catalog.hpp",
-                 allow);
-        } else if (docs.count(t.text) == 0) {
-          report(rel, t.line, "metric-vocab",
-                 "metric name \"" + t.text +
-                     "\" is not documented in OBSERVABILITY.md",
-                 allow);
-        }
-      }
-    }
-  }
-
-  int run() {
-    const fs::path src = root / "src";
-    if (!fs::is_directory(src)) {
-      std::cerr << "p3s-lint: no src/ under " << root << "\n";
-      return 2;
-    }
-    load_vocab();
-    if (!vocab_sources_ok) {
-      std::cerr << "p3s-lint: warning: catalog.hpp or OBSERVABILITY.md "
-                   "missing; metric-vocab rule skipped\n";
-    }
-    std::vector<fs::path> files;
-    for (const auto& e : fs::recursive_directory_iterator(src)) {
-      if (!e.is_regular_file()) continue;
-      const std::string ext = e.path().extension().string();
-      if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
-        files.push_back(e.path());
-      }
-    }
-    std::sort(files.begin(), files.end());
-    for (const auto& f : files) check_file(f);
-
-    std::stable_sort(findings.begin(), findings.end(),
-                     [](const Finding& a, const Finding& b) {
-                       if (a.file != b.file) return a.file < b.file;
-                       return a.line < b.line;
-                     });
-    for (const Finding& f : findings) {
-      std::cout << f.file << ":" << f.line << ": [" << f.rule << "] "
-                << f.message << "\n";
-    }
-    if (findings.empty()) {
-      std::cout << "p3s-lint: OK (" << files.size() << " files clean)\n";
-      return 0;
-    }
-    std::cout << "p3s-lint: " << findings.size() << " finding(s) across "
-              << files.size() << " files\n";
-    return 1;
-  }
+  std::size_t files = 0;
+  bool io_error = false;
 };
+
+RunResult analyze(const fs::path& root) {
+  RunResult res;
+  const fs::path src = root / "src";
+  if (!fs::is_directory(src)) {
+    std::cerr << "p3s-lint: no src/ under " << root << "\n";
+    res.io_error = true;
+    return res;
+  }
+  std::vector<fs::path> files;
+  for (const auto& e : fs::recursive_directory_iterator(src)) {
+    if (!e.is_regular_file()) continue;
+    const std::string ext = e.path().extension().string();
+    if (ext == ".cpp" || ext == ".hpp" || ext == ".h" || ext == ".cc") {
+      files.push_back(e.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+  res.files = files.size();
+
+  Project proj;
+  proj.units.reserve(files.size());
+  for (const fs::path& f : files) {
+    FileUnit unit;
+    unit.rel = fs::relative(f, root).generic_string();
+    unit.module = module_of(unit.rel);
+    unit.all = tokenize(read_file(f));
+    unit.code.reserve(unit.all.size());
+    for (const Token& t : unit.all) {
+      if (t.kind != Tok::kComment) unit.code.push_back(t);
+    }
+    collect_suppressions(unit);
+    proj.units.push_back(std::move(unit));
+  }
+  parse_project(proj);
+
+  const MetricVocab vocab = load_vocab(root);
+  if (!vocab.ok) {
+    std::cerr << "p3s-lint: warning: catalog.hpp or OBSERVABILITY.md "
+                 "missing; metric-vocab rule skipped\n";
+  }
+  Findings out;
+  run_classic_rules(proj, vocab, out);
+  run_taint(proj, out);
+  run_locks(proj, out);
+
+  res.findings = out.all();
+  std::stable_sort(res.findings.begin(), res.findings.end(),
+                   [](const Finding& a, const Finding& b) {
+                     if (a.file != b.file) return a.file < b.file;
+                     return a.line < b.line;
+                   });
+  return res;
+}
 
 // --- selftest ---------------------------------------------------------------
 
 // Runs the analyzer over the seeded fixture tree and asserts that every rule
-// class fires, that clean files stay clean, and that suppressions are
-// honored. The fixture files say which lines are seeded; counts here must
-// match them.
+// class fires the expected number of times, that clean(-twin) files stay
+// clean, and that suppressions are honored. The fixture files say which
+// lines are seeded; counts here must match them.
 int selftest(const fs::path& fixture_root) {
-  Analyzer a;
-  a.root = fixture_root;
-  const fs::path src = fixture_root / "src";
-  if (!fs::is_directory(src)) {
-    std::cerr << "p3s-lint --selftest: fixture root " << fixture_root
-              << " has no src/\n";
-    return 2;
-  }
-  a.load_vocab();
-  std::vector<fs::path> files;
-  for (const auto& e : fs::recursive_directory_iterator(src)) {
-    if (e.is_regular_file()) files.push_back(e.path());
-  }
-  std::sort(files.begin(), files.end());
-  for (const auto& f : files) {
-    const std::string ext = f.extension().string();
-    if (ext == ".cpp" || ext == ".hpp") a.check_file(f);
-  }
+  const RunResult res = analyze(fixture_root);
+  if (res.io_error) return 2;
 
   std::map<std::string, int> by_rule;
-  for (const Finding& f : a.findings) {
+  for (const Finding& f : res.findings) {
     ++by_rule[f.rule];
     std::cout << "seeded: " << f.file << ":" << f.line << ": [" << f.rule
               << "] " << f.message << "\n";
@@ -466,6 +189,10 @@ int selftest(const fs::path& fixture_root) {
       {"banned-api", 3},      // sprintf, srand, time(nullptr)
       {"secret-compare", 2},  // memcmp + '==' on tag (one more is suppressed)
       {"metric-vocab", 2},    // undeclared name + undocumented name
+      {"secret-taint", 2},    // taint-to-log + taint-to-branch
+      {"guarded-by", 1},      // unguarded annotated-field access
+      {"lock-order", 1},      // a->b->a acquisition cycle
+      {"no-block", 1},        // blocking send inside a pool task lambda
   };
   bool ok = true;
   for (const Want& w : wants) {
@@ -475,10 +202,10 @@ int selftest(const fs::path& fixture_root) {
       ok = false;
     }
   }
-  for (const Finding& f : a.findings) {
+  for (const Finding& f : res.findings) {
     if (f.file.find("clean") != std::string::npos) {
       std::cerr << "selftest FAIL: clean fixture flagged: " << f.file << ":"
-                << f.line << "\n";
+                << f.line << ": [" << f.rule << "] " << f.message << "\n";
       ok = false;
     }
   }
@@ -491,20 +218,57 @@ int selftest(const fs::path& fixture_root) {
 int main(int argc, char** argv) {
   fs::path root = ".";
   fs::path selftest_root;
+  std::string format = "text";
+  double budget_seconds = 0.0;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--root" && i + 1 < argc) {
       root = argv[++i];
     } else if (arg == "--selftest" && i + 1 < argc) {
       selftest_root = argv[++i];
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+    } else if (arg == "--format" && i + 1 < argc) {
+      format = argv[++i];
+    } else if (arg == "--budget-seconds" && i + 1 < argc) {
+      budget_seconds = std::atof(argv[++i]);
     } else {
       std::cerr << "usage: p3s-lint [--root <repo-root>] "
-                   "[--selftest <fixture-root>]\n";
+                   "[--selftest <fixture-root>] [--format=text|json|sarif] "
+                   "[--budget-seconds <n>]\n";
       return 2;
     }
   }
+  if (format != "text" && format != "json" && format != "sarif") {
+    std::cerr << "p3s-lint: unknown --format '" << format << "'\n";
+    return 2;
+  }
   if (!selftest_root.empty()) return selftest(selftest_root);
-  Analyzer a;
-  a.root = root;
-  return a.run();
+
+  const auto t0 = std::chrono::steady_clock::now();
+  const RunResult res = analyze(root);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  if (res.io_error) return 2;
+
+  if (format == "json") {
+    emit_json(std::cout, res.findings);
+  } else if (format == "sarif") {
+    emit_sarif(std::cout, res.findings);
+  } else {
+    emit_text(std::cout, res.findings, res.files);
+  }
+  if (format != "text") {
+    // Keep the human summary visible without corrupting the machine stream.
+    std::cerr << "p3s-lint: " << res.findings.size() << " finding(s), "
+              << res.files << " files, " << elapsed << "s\n";
+  }
+  if (budget_seconds > 0.0 && elapsed > budget_seconds) {
+    std::cerr << "p3s-lint: BUDGET EXCEEDED: whole-tree scan took " << elapsed
+              << "s (budget " << budget_seconds
+              << "s); the analyzer must stay pre-commit-fast\n";
+    return 1;
+  }
+  return res.findings.empty() ? 0 : 1;
 }

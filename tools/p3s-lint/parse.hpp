@@ -1,0 +1,1226 @@
+// p3s-lint parser: builds the symbol graph (ir.hpp) from the token stream.
+// Two phases, both heuristic token scans — no preprocessing, no templates,
+// no overload resolution:
+//
+//   Phase A (parse_structure)  namespaces, records + fields (+ annotations),
+//                              function declarations/definitions with body
+//                              token ranges, include directives.
+//   Phase B (parse_bodies)     per-body facts: call sites with argument
+//                              ranges, scoped-lock acquisitions with lexical
+//                              hold ranges, accesses to known record fields,
+//                              assignments, branch conditions, returns,
+//                              nested lambdas. Runs after ALL files finished
+//                              phase A so out-of-line member definitions see
+//                              fields/annotations declared in headers.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir.hpp"
+
+namespace p3s::lint {
+
+namespace detail {
+
+inline bool is_annotation(const std::string& s) {
+  return s == "P3S_GUARDED_BY" || s == "P3S_REQUIRES" || s == "P3S_NO_BLOCK" ||
+         s == "P3S_BLOCKING";
+}
+
+inline const std::set<std::string>& expr_keywords() {
+  static const std::set<std::string> k = {
+      "return", "case",   "goto",  "co_return", "co_yield", "throw",
+      "new",    "delete", "sizeof", "if",       "while",    "for",
+      "switch", "and",    "or",    "not",       "else",     "do",
+      "catch",  "const",  "constexpr"};
+  return k;
+}
+
+inline const std::set<std::string>& lock_classes() {
+  static const std::set<std::string> k = {"lock_guard", "unique_lock",
+                                          "scoped_lock", "shared_lock"};
+  return k;
+}
+
+}  // namespace detail
+
+class Parser {
+ public:
+  Parser(Project& project, int unit_id)
+      : proj_(project), unit_(project.units[static_cast<std::size_t>(unit_id)]),
+        unit_id_(unit_id), t_(unit_.code) {}
+
+  // ---- Phase A -------------------------------------------------------------
+  void parse_structure() { scan_scope(0, t_.size(), "", -1); }
+
+  // ---- Phase B -------------------------------------------------------------
+  void parse_bodies() {
+    // Iterate by index: parsing a body may append lambda Functions.
+    for (std::size_t k = 0; k < unit_.functions.size(); ++k) {
+      const int id = unit_.functions[static_cast<std::size_t>(k)];
+      Function& f = proj_.functions[static_cast<std::size_t>(id)];
+      if (!f.has_body || f.is_lambda) continue;
+      BodyCtx ctx;
+      parse_body(id, f.body, ctx);
+    }
+  }
+
+ private:
+  Project& proj_;
+  FileUnit& unit_;
+  int unit_id_;
+  const std::vector<Token>& t_;
+
+  // ---- small token helpers -------------------------------------------------
+  bool is_ident(std::size_t i, const char* s = nullptr) const {
+    return i < t_.size() && t_[i].kind == Tok::kIdent &&
+           (s == nullptr || t_[i].text == s);
+  }
+  bool is_punct(std::size_t i, const char* s) const {
+    return i < t_.size() && t_[i].kind == Tok::kPunct && t_[i].text == s;
+  }
+  int line(std::size_t i) const {
+    return i < t_.size() ? t_[i].line : (t_.empty() ? 0 : t_.back().line);
+  }
+
+  // Index just past the matching closer for the opener at `i` ('(','{','[').
+  // Robust to premature EOF: returns t_.size().
+  std::size_t match(std::size_t i) const {
+    if (i >= t_.size() || t_[i].kind != Tok::kPunct) return i + 1;
+    const std::string& open = t_[i].text;
+    std::string close;
+    if (open == "(") close = ")";
+    else if (open == "{") close = "}";
+    else if (open == "[") close = "]";
+    else return i + 1;
+    int depth = 0;
+    for (std::size_t j = i; j < t_.size(); ++j) {
+      if (t_[j].kind != Tok::kPunct) continue;
+      if (t_[j].text == open) ++depth;
+      else if (t_[j].text == close && --depth == 0) return j + 1;
+    }
+    return t_.size();
+  }
+
+  // Skip a balanced template argument list starting at '<'. Conservative:
+  // stops at ';' or '{' so a stray comparison can't eat the file.
+  std::size_t skip_angles(std::size_t i) const {
+    int depth = 0;
+    for (std::size_t j = i; j < t_.size(); ++j) {
+      if (t_[j].kind != Tok::kPunct) continue;
+      const std::string& p = t_[j].text;
+      if (p == "<") ++depth;
+      else if (p == ">") { if (--depth == 0) return j + 1; }
+      else if (p == ">>") { depth -= 2; if (depth <= 0) return j + 1; }
+      else if (p == ";" || p == "{") return j;
+    }
+    return t_.size();
+  }
+
+  std::string flatten(Range r) const {
+    std::string out;
+    for (std::size_t i = r.begin; i < r.end && i < t_.size(); ++i) {
+      if (!out.empty() && t_[i].kind == Tok::kIdent &&
+          t_[i - 1].kind == Tok::kIdent) {
+        out.push_back(' ');
+      }
+      if (t_[i].kind == Tok::kString) out += "\"...\"";
+      else out += t_[i].text;
+    }
+    return out;
+  }
+
+  // ---- Phase A scanner -----------------------------------------------------
+
+  // Scan declarations in [begin, end). `scope` is the qualified prefix
+  // ("p3s::exec" or "p3s::exec::Pool"); `record_id` >= 0 when this is a
+  // record body.
+  void scan_scope(std::size_t begin, std::size_t end, const std::string& scope,
+                  int record_id) {
+    std::size_t i = begin;
+    while (i < end) {
+      const Token& tk = t_[i];
+      if (tk.kind == Tok::kPunct && tk.text == "#") {
+        i = directive(i);
+        continue;
+      }
+      if (tk.kind == Tok::kPunct && (tk.text == ";" || tk.text == ":")) {
+        ++i;
+        continue;
+      }
+      if (tk.kind == Tok::kIdent) {
+        const std::string& w = tk.text;
+        if (w == "namespace") {
+          i = parse_namespace(i, end, scope);
+          continue;
+        }
+        if (w == "class" || w == "struct" || w == "union") {
+          // `enum class` is handled below; a bare class-head here is either
+          // a definition, a forward declaration, or an elaborated return
+          // type — parse_record sorts it out.
+          i = parse_record_or_decl(i, end, scope, record_id);
+          continue;
+        }
+        if (w == "enum") {
+          i = skip_enum(i);
+          continue;
+        }
+        if (w == "template") {
+          std::size_t j = i + 1;
+          if (is_punct(j, "<")) j = skip_angles(j);
+          i = j;  // the templated declaration follows; scan it normally
+          continue;
+        }
+        if (w == "using" || w == "typedef" || w == "friend" ||
+            w == "static_assert") {
+          i = skip_statement(i);
+          continue;
+        }
+        if ((w == "public" || w == "private" || w == "protected") &&
+            is_punct(i + 1, ":")) {
+          i += 2;
+          continue;
+        }
+        if (w == "extern" && i + 1 < end && t_[i + 1].kind == Tok::kString) {
+          // extern "C" [{]
+          i += 2;
+          continue;
+        }
+      }
+      i = parse_declaration(i, end, scope, record_id);
+    }
+  }
+
+  std::size_t directive(std::size_t i) {
+    const int ln = line(i);
+    std::size_t j = i + 1;
+    if (is_ident(j, "include") && j + 1 < t_.size() &&
+        t_[j + 1].kind == Tok::kString) {
+      unit_.includes.push_back({t_[j + 1].text, ln});
+    }
+    // Skip the rest of the logical line.
+    while (j < t_.size() && t_[j].line == ln) ++j;
+    return j;
+  }
+
+  std::size_t parse_namespace(std::size_t i, std::size_t end,
+                              const std::string& scope) {
+    std::size_t j = i + 1;
+    std::string name;
+    while (j < end && (is_ident(j) || is_punct(j, "::"))) {
+      name += t_[j].text;
+      ++j;
+    }
+    if (is_punct(j, "=")) return skip_statement(j);  // namespace alias
+    if (!is_punct(j, "{")) return j + 1;
+    const std::size_t close = match(j);
+    const std::string inner =
+        name.empty() ? scope : (scope.empty() ? name : scope + "::" + name);
+    scan_scope(j + 1, close - 1, inner, -1);
+    return close;
+  }
+
+  std::size_t skip_enum(std::size_t i) {
+    std::size_t j = i;
+    while (j < t_.size() && !is_punct(j, "{") && !is_punct(j, ";")) ++j;
+    if (is_punct(j, "{")) j = match(j);
+    if (is_punct(j, ";")) ++j;
+    return j;
+  }
+
+  std::size_t skip_statement(std::size_t i) {
+    std::size_t j = i;
+    while (j < t_.size() && !is_punct(j, ";")) {
+      if (is_punct(j, "{")) {
+        j = match(j);
+        continue;
+      }
+      ++j;
+    }
+    return j < t_.size() ? j + 1 : j;
+  }
+
+  std::size_t parse_record_or_decl(std::size_t i, std::size_t end,
+                                   const std::string& scope, int record_id) {
+    // i points at class/struct/union. Find the name and what follows.
+    std::size_t j = i + 1;
+    while (is_ident(j, "alignas") || (is_ident(j) && is_punct(j + 1, "("))
+               ? false
+               : false) {
+    }
+    if (is_ident(j, "alignas") && is_punct(j + 1, "(")) j = match(j + 1);
+    std::string name;
+    if (is_ident(j)) {
+      name = t_[j].text;
+      ++j;
+    }
+    if (is_ident(j, "final")) ++j;
+    if (is_punct(j, ";")) return j + 1;  // forward declaration
+    if (is_punct(j, ":")) {
+      // base clause: skip to the opening brace
+      while (j < end && !is_punct(j, "{") && !is_punct(j, ";")) ++j;
+    }
+    if (!is_punct(j, "{")) {
+      // `struct Tm tm;`-style elaborated declaration — treat as ordinary.
+      return parse_declaration(i + 1, end, scope, record_id);
+    }
+    const std::size_t close = match(j);
+    Record rec;
+    rec.name = name.empty() ? "<anon>" : name;
+    rec.qual = scope.empty() ? rec.name : scope + "::" + rec.name;
+    rec.unit = unit_id_;
+    rec.line = line(i);
+    proj_.records.push_back(rec);
+    const int rid = static_cast<int>(proj_.records.size()) - 1;
+    unit_.records.push_back(rid);
+    scan_scope(j + 1, close - 1,
+               scope.empty() ? rec.name : scope + "::" + rec.name, rid);
+    // Skip trailing `;` (and any declarator like `} instance;`).
+    std::size_t k = close;
+    while (k < t_.size() && !is_punct(k, ";")) ++k;
+    return k < t_.size() ? k + 1 : k;
+  }
+
+  // A declaration at class/namespace scope: field, variable, or function.
+  std::size_t parse_declaration(std::size_t i, std::size_t end,
+                                const std::string& scope, int record_id) {
+    std::size_t j = i;
+    std::string last_ident;     // candidate declarator name
+    std::size_t last_ident_at = t_.size();
+    std::string qual_prefix;    // "Pool" from `void Pool::worker(...)`
+    std::vector<Annotation> annos;
+    bool tilde = false;         // destructor name follows
+    int angle = 0;
+
+    while (j < end) {
+      const Token& tk = t_[j];
+      if (tk.kind == Tok::kPunct) {
+        const std::string& p = tk.text;
+        if (p == ";") {
+          finish_field(i, j, last_ident, annos, record_id);
+          return j + 1;
+        }
+        if (p == "=") {
+          finish_field(i, j, last_ident, annos, record_id);
+          return skip_statement(j);
+        }
+        if (p == "{") {
+          if (!last_ident.empty()) {
+            // Brace-initialized field: `std::array<...> spans_{};`
+            const std::size_t after = match(j);
+            finish_field(i, j, last_ident, annos, record_id);
+            std::size_t k = after;
+            while (k < t_.size() && !is_punct(k, ";")) ++k;
+            return k < t_.size() ? k + 1 : k;
+          }
+          return match(j);  // stray block (e.g. `extern "C" { ... }` body)
+        }
+        if (p == "<" && angle == 0 && j > i && t_[j - 1].kind == Tok::kIdent) {
+          const std::size_t after = skip_angles(j);
+          if (after > j + 1) {
+            j = after;
+            continue;
+          }
+        }
+        if (p == "~") {
+          tilde = true;
+          ++j;
+          continue;
+        }
+        if (p == "::" && j > i && t_[j - 1].kind == Tok::kIdent &&
+            is_ident(j + 1)) {
+          // Qualified declarator: remember the last qualifier as the record.
+          qual_prefix = t_[j - 1].text;
+          ++j;
+          continue;
+        }
+        if (p == "(") {
+          if (!last_ident.empty()) {
+            return parse_function(i, j, last_ident, last_ident_at, qual_prefix,
+                                  tilde, annos, scope, record_id, end);
+          }
+          j = match(j);
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      if (tk.kind == Tok::kIdent) {
+        const std::string& w = tk.text;
+        if (detail::is_annotation(w)) {
+          Annotation a;
+          a.name = w;
+          if (is_punct(j + 1, "(")) {
+            const std::size_t close = match(j + 1);
+            a.arg = flatten({j + 2, close - 1});
+            j = close;
+          } else {
+            ++j;
+          }
+          annos.push_back(a);
+          continue;
+        }
+        if ((w == "alignas" || w == "decltype" || w == "noexcept" ||
+             w == "__attribute__") &&
+            is_punct(j + 1, "(")) {
+          j = match(j + 1);
+          continue;
+        }
+        if (w == "operator") {
+          // operator tokens up to '('
+          std::string name = "operator";
+          std::size_t k = j + 1;
+          while (k < end && !is_punct(k, "(")) {
+            name += t_[k].text;
+            ++k;
+          }
+          // `operator()` declares with the FIRST paren pair as the name.
+          if (name == "operator" && is_punct(k, "(")) {
+            name = "operator()";
+            k = match(k);
+          }
+          if (is_punct(k, "(")) {
+            return parse_function(i, k, name, j, qual_prefix, false, annos,
+                                  scope, record_id, end);
+          }
+          j = k;
+          continue;
+        }
+        last_ident = w;
+        last_ident_at = j;
+        ++j;
+        continue;
+      }
+      ++j;
+    }
+    return end;
+  }
+
+  void finish_field(std::size_t decl_begin, std::size_t at,
+                    const std::string& name, const std::vector<Annotation>& annos,
+                    int record_id) {
+    if (record_id < 0 || name.empty()) return;
+    Record& rec = proj_.records[static_cast<std::size_t>(record_id)];
+    Field f;
+    f.name = name;
+    f.line = line(at);
+    f.type_text = flatten({decl_begin, at});
+    for (const Annotation& a : annos) {
+      if (a.name == "P3S_GUARDED_BY") f.guarded_by = a.arg;
+    }
+    rec.fields.push_back(f);
+  }
+
+  // `paren` points at the '(' of the parameter list; `name` is the declarator.
+  std::size_t parse_function(std::size_t decl_begin, std::size_t paren,
+                             const std::string& name, std::size_t name_at,
+                             const std::string& qual_prefix, bool tilde,
+                             std::vector<Annotation> annos,
+                             const std::string& scope, int record_id,
+                             std::size_t end) {
+    (void)decl_begin;
+    const std::size_t params_end = match(paren);  // one past ')'
+    // Trailing part: const/noexcept/override/final/&/&&/-> T/annotations,
+    // then one of `{` (definition), `;` (declaration), `=` (default/delete/
+    // pure), or `:` (ctor init list).
+    std::size_t j = params_end;
+    bool is_def = false;
+    std::size_t body_open = t_.size();
+    while (j < end) {
+      if (t_[j].kind == Tok::kIdent) {
+        const std::string& w = t_[j].text;
+        if (detail::is_annotation(w)) {
+          Annotation a;
+          a.name = w;
+          if (is_punct(j + 1, "(")) {
+            const std::size_t close = match(j + 1);
+            a.arg = flatten({j + 2, close - 1});
+            j = close;
+          } else {
+            ++j;
+          }
+          annos.push_back(a);
+          continue;
+        }
+        if (w == "noexcept" && is_punct(j + 1, "(")) {
+          j = match(j + 1);
+          continue;
+        }
+        ++j;
+        continue;
+      }
+      const std::string& p = t_[j].text;
+      if (p == "{") {
+        is_def = true;
+        body_open = j;
+        break;
+      }
+      if (p == ";") break;
+      if (p == "=") {
+        // = 0; / = default; / = delete;
+        j = skip_statement(j);
+        --j;  // leave pointing at ';' position semantics below
+        break;
+      }
+      if (p == ":") {
+        // ctor initializer list: consume `name(...)` / `name{...}` pairs.
+        std::size_t k = j + 1;
+        while (k < end) {
+          if (is_punct(k, "{")) {
+            // either an initializer brace or the body — the body brace is
+            // preceded by ')' or '}' of the previous initializer or follows
+            // an identifier initializer directly; disambiguate: an
+            // initializer brace is always preceded by an identifier.
+            if (k > 0 && t_[k - 1].kind == Tok::kIdent) {
+              k = match(k);
+              if (is_punct(k, ",")) ++k;
+              continue;
+            }
+            break;
+          }
+          if (is_punct(k, "(")) {
+            k = match(k);
+            if (is_punct(k, ",")) ++k;
+            continue;
+          }
+          ++k;
+        }
+        if (is_punct(k, "{")) {
+          is_def = true;
+          body_open = k;
+        }
+        j = k;
+        break;
+      }
+      if (p == "-" || p == "->") {
+        ++j;
+        continue;
+      }
+      ++j;
+    }
+
+    Function fn;
+    fn.name = tilde ? "~" + name : name;
+    fn.unit = unit_id_;
+    fn.line = line(name_at);
+    fn.annotations = std::move(annos);
+    if (!qual_prefix.empty()) {
+      fn.record = qual_prefix;
+      fn.qual = qual_prefix + "::" + fn.name;
+    } else if (record_id >= 0) {
+      fn.record = proj_.records[static_cast<std::size_t>(record_id)].name;
+      fn.qual = scope + "::" + fn.name;
+    } else {
+      fn.qual = scope.empty() ? fn.name : scope + "::" + fn.name;
+    }
+    parse_params(fn, paren + 1, params_end - 1);
+    if (is_def) {
+      fn.has_body = true;
+      const std::size_t body_close = match(body_open);
+      fn.body = {body_open + 1, body_close - 1};
+      push_function(fn, record_id);
+      return body_close;
+    }
+    push_function(fn, record_id);
+    // Advance past the terminating ';'.
+    std::size_t k = j;
+    while (k < t_.size() && !is_punct(k, ";")) ++k;
+    return k < t_.size() ? k + 1 : k;
+  }
+
+  void push_function(Function& fn, int record_id) {
+    if (record_id >= 0) {
+      proj_.records[static_cast<std::size_t>(record_id)].method_names.insert(
+          fn.name);
+    }
+    proj_.functions.push_back(fn);
+    unit_.functions.push_back(static_cast<int>(proj_.functions.size()) - 1);
+  }
+
+  void parse_params(Function& fn, std::size_t begin, std::size_t end) {
+    // Comma-split at depth 0; a param's name is the last identifier at angle
+    // depth 0 before `,` / `=` / end.
+    std::size_t start = begin;
+    int paren = 0;
+    for (std::size_t j = begin; j <= end; ++j) {
+      const bool at_end = j == end;
+      if (!at_end && t_[j].kind == Tok::kPunct) {
+        const std::string& p = t_[j].text;
+        if (p == "(" || p == "[" || p == "{") ++paren;
+        if (p == ")" || p == "]" || p == "}") --paren;
+        if (p == "<" && t_[j - 1].kind == Tok::kIdent) {
+          const std::size_t after = skip_angles(j);
+          if (after > j + 1) {
+            j = after - 1;
+            continue;
+          }
+        }
+      }
+      if (at_end || (paren == 0 && is_punct(j, ","))) {
+        Param p;
+        std::size_t stop = j;
+        for (std::size_t k = start; k < j; ++k) {
+          if (is_punct(k, "=")) {
+            stop = k;
+            break;
+          }
+        }
+        for (std::size_t k = stop; k-- > start;) {
+          if (t_[k].kind == Tok::kIdent &&
+              !detail::is_annotation(t_[k].text)) {
+            p.name = t_[k].text;
+            p.type_text = flatten({start, k});
+            break;
+          }
+        }
+        if (!p.name.empty() || stop > start) fn.params.push_back(p);
+        start = j + 1;
+      }
+    }
+  }
+
+  // ---- Phase B body scanner ------------------------------------------------
+
+  struct OpenLock {
+    std::string key;
+    std::string var;
+    int line = 0;
+    std::size_t begin = 0;
+    int depth = 0;  // block depth at acquisition; released when it closes
+    std::size_t explicit_end = 0;  // set by .unlock()
+  };
+
+  struct BodyCtx {
+    std::vector<OpenLock> locks;
+    int depth = 0;
+  };
+
+  std::vector<std::string> held(const BodyCtx& ctx) const {
+    std::vector<std::string> out;
+    for (const OpenLock& l : ctx.locks) out.push_back(l.key);
+    return out;
+  }
+
+  Function& fn(int id) { return proj_.functions[static_cast<std::size_t>(id)]; }
+
+  // Resolve the mutex key for a lock expression range: strip *,&,this->;
+  // "mutex_" inside a member function of R -> "R::mutex_"; "obj.mutex" with
+  // obj a known local/param of record type T -> "T::mutex"; else "::name".
+  std::string mutex_key(int fid, Range r) {
+    std::vector<std::string> idents;
+    for (std::size_t k = r.begin; k < r.end; ++k) {
+      if (t_[k].kind == Tok::kIdent && t_[k].text != "this") {
+        idents.push_back(t_[k].text);
+      }
+    }
+    if (idents.empty()) return "::<unknown>";
+    const std::string& name = idents.back();
+    Function& f = fn(fid);
+    if (idents.size() >= 2) {
+      const std::string owner = resolve_record_of_var(fid, idents.front());
+      if (!owner.empty()) return owner + "::" + name;
+      return "::" + name;
+    }
+    // Single identifier: a member of the enclosing record, or a free mutex.
+    const std::string rec = enclosing_record(f);
+    if (!rec.empty()) {
+      const Record* r2 = proj_.find_record(rec);
+      if (r2 != nullptr && r2->field(name) != nullptr) {
+        return rec + "::" + name;
+      }
+    }
+    if (f.local_types.count(name) != 0) return "::" + name;  // local mutex
+    return "::" + name;
+  }
+
+  std::string enclosing_record(const Function& f) {
+    if (!f.record.empty()) return f.record;
+    if (f.parent >= 0) {
+      return enclosing_record(
+          proj_.functions[static_cast<std::size_t>(f.parent)]);
+    }
+    return "";
+  }
+
+  std::string resolve_record_of_var(int fid, const std::string& var) {
+    // Walk the lambda parent chain looking for a local/param with this name.
+    for (int cur = fid; cur >= 0;
+         cur = proj_.functions[static_cast<std::size_t>(cur)].parent) {
+      Function& f = proj_.functions[static_cast<std::size_t>(cur)];
+      auto it = f.local_types.find(var);
+      std::string type;
+      if (it != f.local_types.end()) {
+        type = it->second;
+      } else {
+        for (const Param& p : f.params) {
+          if (p.name == var) {
+            type = p.type_text;
+            break;
+          }
+        }
+      }
+      if (!type.empty()) {
+        // Last record-ish identifier in the type text wins.
+        for (const auto& [rname, ids] : proj_.records_by_name) {
+          (void)ids;
+          if (type.find(rname) != std::string::npos) return rname;
+        }
+        return "";
+      }
+    }
+    return "";
+  }
+
+  // Parse one function body over [r). `fid` is the function receiving the
+  // facts; lambdas nest by recursion with their own fid.
+  void parse_body(int fid, Range r, BodyCtx& ctx) {
+    std::size_t i = r.begin;
+    const int base_depth = ctx.depth;
+    while (i < r.end) {
+      const Token& tk = t_[i];
+      if (tk.kind == Tok::kPunct) {
+        const std::string& p = tk.text;
+        if (p == "#") {
+          i = directive(i);
+          continue;
+        }
+        if (p == "{") {
+          ++ctx.depth;
+          ++i;
+          continue;
+        }
+        if (p == "}") {
+          // Close lock scopes opened at this depth.
+          for (auto it = ctx.locks.begin(); it != ctx.locks.end();) {
+            if (it->depth >= ctx.depth) {
+              fn(fid).lock_sites.push_back(
+                  {it->key, it->var, it->line, {it->begin, i}});
+              it = ctx.locks.erase(it);
+            } else {
+              ++it;
+            }
+          }
+          --ctx.depth;
+          ++i;
+          continue;
+        }
+        if (p == "[") {
+          const int lam = try_lambda(fid, i, ctx);
+          if (lam >= 0) {
+            i = proj_.functions[static_cast<std::size_t>(lam)].body.end + 1;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        ++i;
+        continue;
+      }
+      if (tk.kind != Tok::kIdent) {
+        ++i;
+        continue;
+      }
+      const std::string& w = tk.text;
+
+      // Branch conditions: if/while/for (...)
+      if ((w == "if" || w == "while" || w == "for") && is_punct(i + 1, "(")) {
+        const std::size_t close = match(i + 1);
+        Range cond{i + 2, close - 1};
+        // Range-for (`for (auto b : key)`) iterates, it does not branch.
+        bool range_for = false;
+        if (w == "for") {
+          bool semi = false;
+          for (std::size_t k = cond.begin; k < cond.end; ++k) {
+            if (is_punct(k, ";")) semi = true;
+          }
+          if (!semi) range_for = true;
+          if (semi) {
+            // Only the middle clause is the branch condition.
+            std::size_t s1 = cond.end, s2 = cond.end;
+            int depth2 = 0;
+            for (std::size_t k = cond.begin; k < cond.end; ++k) {
+              if (is_punct(k, "(")) ++depth2;
+              if (is_punct(k, ")")) --depth2;
+              if (depth2 == 0 && is_punct(k, ";")) {
+                if (s1 == cond.end) s1 = k;
+                else if (s2 == cond.end) s2 = k;
+              }
+            }
+            if (s1 != cond.end && s2 != cond.end) cond = {s1 + 1, s2};
+          }
+        }
+        if (!range_for) fn(fid).branches.push_back(cond);
+        // Scan the condition itself for calls/accesses, then continue after
+        // the ')' so the statement body parses normally.
+        scan_expression(fid, {i + 2, close - 1}, ctx);
+        i = close;
+        continue;
+      }
+      if (w == "return") {
+        std::size_t k = i + 1;
+        int d = 0;
+        while (k < r.end) {
+          if (is_punct(k, "(") || is_punct(k, "[") || is_punct(k, "{")) ++d;
+          if (is_punct(k, ")") || is_punct(k, "]") || is_punct(k, "}")) --d;
+          if (d == 0 && is_punct(k, ";")) break;
+          if (d < 0) break;
+          ++k;
+        }
+        fn(fid).returns.push_back({i + 1, k});
+        scan_expression(fid, {i + 1, k}, ctx);
+        i = k + 1;
+        continue;
+      }
+      if (w == "switch" && is_punct(i + 1, "(")) {
+        const std::size_t close = match(i + 1);
+        fn(fid).branches.push_back({i + 2, close - 1});
+        scan_expression(fid, {i + 2, close - 1}, ctx);
+        i = close;
+        continue;
+      }
+
+      // Scoped lock declaration: std::lock_guard<...> name(mu[, ...]);
+      // The `std ::` qualifier must be skipped HERE: local_decl would
+      // otherwise swallow the statement starting at `std` and the
+      // lock-class token would never be inspected.
+      std::size_t lk = i;
+      if (w == "std" && is_punct(i + 1, "::") && is_ident(i + 2)) lk = i + 2;
+      if (is_ident(lk) && detail::lock_classes().count(t_[lk].text) != 0) {
+        std::size_t j = lk + 1;
+        if (is_punct(j, "<")) j = skip_angles(j);
+        if (is_ident(j) && (is_punct(j + 1, "(") || is_punct(j + 1, "{"))) {
+          const std::string var = t_[j].text;
+          const std::size_t close = match(j + 1);
+          // scoped_lock may name several mutexes; one OpenLock per arg.
+          std::size_t arg_start = j + 2;
+          for (std::size_t k = j + 2; k < close; ++k) {
+            const bool last = k == close - 1;
+            if ((is_punct(k, ",") && true) || last) {
+              const std::size_t stop = last ? close - 1 : k;
+              if (stop > arg_start) {
+                OpenLock ol;
+                ol.key = mutex_key(fid, {arg_start, stop});
+                ol.var = var;
+                ol.line = line(i);
+                ol.begin = i;
+                ol.depth = ctx.depth;
+                // Lock-order edges: acquiring while holding others.
+                fn(fid).calls.push_back(make_lock_event(fid, ol, ctx));
+                ctx.locks.push_back(ol);
+              }
+              arg_start = k + 1;
+            }
+          }
+          i = close;
+          continue;
+        }
+      }
+
+      // Explicit mu.lock() / mu.unlock().
+      if ((is_punct(i + 1, ".") || is_punct(i + 1, "->")) &&
+          (is_ident(i + 2, "lock") || is_ident(i + 2, "unlock")) &&
+          is_punct(i + 3, "(")) {
+        const bool locking = t_[i + 2].text == "lock";
+        const std::string key = mutex_key(fid, {i, i + 1});
+        if (locking) {
+          OpenLock ol;
+          ol.key = key;
+          ol.line = line(i);
+          ol.begin = i;
+          ol.depth = ctx.depth;
+          fn(fid).calls.push_back(make_lock_event(fid, ol, ctx));
+          ctx.locks.push_back(ol);
+        } else {
+          for (auto it = ctx.locks.begin(); it != ctx.locks.end(); ++it) {
+            if (it->key == key) {
+              fn(fid).lock_sites.push_back(
+                  {it->key, it->var, it->line, {it->begin, i}});
+              ctx.locks.erase(it);
+              break;
+            }
+          }
+        }
+        i = match(i + 3);
+        continue;
+      }
+
+      // Local declaration `Type name(init)` / `Type name{init}` /
+      // `Type name = init;` / `auto name = ...;`
+      if (local_decl(fid, i, ctx, r.end, &i)) continue;
+
+      // Plain identifier: call site or field access.
+      scan_ident(fid, i, ctx);
+      ++i;
+    }
+    // Close any locks still open (function end).
+    for (const OpenLock& l : ctx.locks) {
+      if (l.depth >= base_depth) {
+        fn(fid).lock_sites.push_back({l.key, l.var, l.line, {l.begin, r.end}});
+      }
+    }
+    std::vector<OpenLock> keep;
+    for (OpenLock& l : ctx.locks) {
+      if (l.depth < base_depth) keep.push_back(l);
+    }
+    ctx.locks = keep;
+  }
+
+  // A synthetic "call" recording a lock acquisition with the locks already
+  // held — the lock-order pass reads these; callee "<lock>" is skipped by
+  // every other pass.
+  CallSite make_lock_event(int fid, const OpenLock& ol, const BodyCtx& ctx) {
+    (void)fid;
+    CallSite cs;
+    cs.callee = "<lock>";
+    cs.base_text = ol.key;
+    cs.line = ol.line;
+    cs.tok = ol.begin;
+    cs.locks = held(ctx);
+    return cs;
+  }
+
+  // Try to parse a lambda literal at '['. Returns the new function id or -1.
+  int try_lambda(int fid, std::size_t i, BodyCtx& ctx) {
+    // Heuristic context filter: lambdas appear after ( , = return { : && ||
+    if (i > 0) {
+      const Token& pv = t_[i - 1];
+      const bool ok =
+          (pv.kind == Tok::kPunct &&
+           (pv.text == "(" || pv.text == "," || pv.text == "=" ||
+            pv.text == "{" || pv.text == ":" || pv.text == "&&" ||
+            pv.text == "||" || pv.text == "?")) ||
+          (pv.kind == Tok::kIdent && pv.text == "return");
+      if (!ok) return -1;
+    }
+    const std::size_t cap_end = match(i);  // one past ']'
+    if (cap_end >= t_.size()) return -1;
+    std::size_t j = cap_end;
+    std::size_t params_begin = 0, params_end = 0;
+    if (is_punct(j, "(")) {
+      params_begin = j + 1;
+      j = match(j);
+      params_end = j - 1;
+    }
+    // specifiers / trailing return type up to '{'
+    std::size_t guard = 0;
+    while (j < t_.size() && !is_punct(j, "{") && !is_punct(j, ";") &&
+           guard < 16) {
+      if (is_ident(j, "noexcept") && is_punct(j + 1, "(")) {
+        j = match(j + 1);
+      } else {
+        ++j;
+      }
+      ++guard;
+    }
+    if (!is_punct(j, "{")) return -1;
+    const std::size_t body_close = match(j);
+
+    Function lam;
+    Function& parent = fn(fid);
+    lam.name = "<lambda>";
+    lam.qual = parent.qual + "::<lambda:" + std::to_string(line(i)) + ">";
+    lam.record = enclosing_record(parent);
+    lam.unit = unit_id_;
+    lam.line = line(i);
+    lam.has_body = true;
+    lam.is_lambda = true;
+    lam.parent = fid;
+    lam.body = {j + 1, body_close - 1};
+    if (params_end > params_begin) parse_params(lam, params_begin, params_end);
+    proj_.functions.push_back(lam);
+    const int lid = static_cast<int>(proj_.functions.size()) - 1;
+    unit_.functions.push_back(lid);
+    fn(fid).lambdas.push_back(lid);
+    proj_.functions_by_name[lam.name].push_back(lid);
+
+    // `auto name = [..](..){..}` — bind for later call-site resolution.
+    if (i >= 2 && is_punct(i - 1, "=") && t_[i - 2].kind == Tok::kIdent) {
+      fn(fid).local_lambdas[t_[i - 2].text] = lid;
+    }
+    BodyCtx inner;
+    inner.locks = ctx.locks;  // lexical lock inheritance (wait predicates)
+    inner.depth = ctx.depth;
+    parse_body(lid, {j + 1, body_close - 1}, inner);
+    return lid;
+  }
+
+  // Scan a sub-expression range for call sites and field accesses (used for
+  // branch conditions and return expressions, which the main loop skips).
+  void scan_expression(int fid, Range r, BodyCtx& ctx) {
+    for (std::size_t k = r.begin; k < r.end; ++k) {
+      if (t_[k].kind == Tok::kPunct && t_[k].text == "[") {
+        const int lam = try_lambda(fid, k, ctx);
+        if (lam >= 0) {
+          k = proj_.functions[static_cast<std::size_t>(lam)].body.end;
+          continue;
+        }
+      }
+      if (t_[k].kind == Tok::kIdent) scan_ident(fid, k, ctx);
+    }
+  }
+
+  // Local declarations: `Type name(init);`, `Type name{init};`,
+  // `Type name = init;`, `auto name = init;`. Returns true when consumed.
+  bool local_decl(int fid, std::size_t i, BodyCtx& ctx, std::size_t limit,
+                  std::size_t* out) {
+    // Pattern: IDENT ... IDENT followed by ( { or = — where the preceding
+    // token run looks like a type (idents, ::, <...>, *, &, const).
+    if (t_[i].kind != Tok::kIdent) return false;
+    if (detail::expr_keywords().count(t_[i].text) != 0) return false;
+    std::size_t j = i;
+    // consume type-ish tokens
+    std::string type_text;
+    while (j < limit) {
+      if (t_[j].kind == Tok::kIdent) {
+        if (detail::is_annotation(t_[j].text)) return false;
+        type_text += t_[j].text;
+        ++j;
+        if (is_punct(j, "<")) {
+          const std::size_t after = skip_angles(j);
+          if (after <= j + 1) return false;
+          j = after;
+        }
+        if (is_punct(j, "::")) {
+          type_text += "::";
+          ++j;
+          continue;
+        }
+        while (is_punct(j, "*") || is_punct(j, "&") || is_punct(j, "&&")) ++j;
+        break;
+      }
+      return false;
+    }
+    if (j == i || j >= limit) return false;
+    if (!is_ident(j)) return false;
+    const std::string name = t_[j].text;
+    const std::size_t after_name = j + 1;
+    if (!(is_punct(after_name, "=") || is_punct(after_name, "(") ||
+          is_punct(after_name, "{") || is_punct(after_name, ";"))) {
+      return false;
+    }
+    // `name(` could also be a member call on a two-ident expression like
+    // `foo bar(...)` — in statement context two adjacent identifiers are a
+    // declaration, which is exactly what we want.
+    Function& f = fn(fid);
+    f.local_types[name] = type_text;
+    if (is_punct(after_name, ";")) {
+      *out = after_name + 1;
+      return true;
+    }
+    std::size_t init_begin, init_end;
+    if (is_punct(after_name, "=")) {
+      init_begin = after_name + 1;
+      std::size_t k = init_begin;
+      int d = 0;
+      while (k < limit) {
+        if (is_punct(k, "(") || is_punct(k, "[") || is_punct(k, "{")) ++d;
+        if (is_punct(k, ")") || is_punct(k, "]") || is_punct(k, "}")) --d;
+        if (d == 0 && is_punct(k, ";")) break;
+        if (d < 0) break;
+        ++k;
+      }
+      init_end = k;
+      *out = k < limit ? k + 1 : k;
+    } else {
+      const std::size_t close = match(after_name);
+      init_begin = after_name + 1;
+      init_end = close - 1;
+      std::size_t k = close;
+      while (k < limit && !is_punct(k, ";")) {
+        if (is_punct(k, "{") || is_punct(k, "(")) {
+          k = match(k);
+          continue;
+        }
+        ++k;
+      }
+      *out = k < limit ? k + 1 : k;
+    }
+    f.assigns.push_back({name, {init_begin, init_end}, line(i)});
+    // A paren/brace init is also a constructor call worth recording
+    // (Drbg rng(seed) — the taint pass treats crypto ctors as laundering).
+    if (!is_punct(after_name, "=")) {
+      CallSite cs;
+      cs.callee = type_last_ident(type_text);
+      cs.base_text = type_text;
+      cs.line = line(i);
+      cs.tok = i;
+      cs.args.push_back({init_begin, init_end});
+      cs.locks = held(ctx);
+      f.calls.push_back(cs);
+    }
+    scan_expression(fid, {init_begin, init_end}, ctx);
+    return true;
+  }
+
+  static std::string type_last_ident(const std::string& type_text) {
+    std::size_t end = type_text.size();
+    while (end > 0 && !(std::isalnum(static_cast<unsigned char>(
+                            type_text[end - 1])) ||
+                        type_text[end - 1] == '_')) {
+      --end;
+    }
+    std::size_t begin = end;
+    while (begin > 0 && (std::isalnum(static_cast<unsigned char>(
+                             type_text[begin - 1])) ||
+                         type_text[begin - 1] == '_')) {
+      --begin;
+    }
+    return type_text.substr(begin, end - begin);
+  }
+
+  // Handle a plain identifier inside an expression: record a call site when
+  // followed by '(', or a field access when it names a known record field.
+  void scan_ident(int fid, std::size_t i, BodyCtx& ctx) {
+    const std::string& w = t_[i].text;
+    if (detail::is_annotation(w)) return;
+    Function& f = fn(fid);
+
+    if (is_punct(i + 1, "(") &&
+        detail::expr_keywords().count(w) == 0 && w != "if" && w != "while" &&
+        w != "for" && w != "switch") {
+      // Assignment? `x = f(...)` is recorded by the '=' handling below via
+      // assignment scan; here record the call itself.
+      CallSite cs;
+      cs.callee = w;
+      cs.line = t_[i].line;
+      cs.tok = i;
+      // Walk back the member/qualifier chain.
+      std::size_t b = i;
+      std::string base;
+      while (b >= 1) {
+        const Token& pv = t_[b - 1];
+        if (pv.kind == Tok::kPunct &&
+            (pv.text == "." || pv.text == "->" || pv.text == "::")) {
+          if (pv.text != "::") cs.member = true;
+          if (b >= 2) {
+            const Token& bb = t_[b - 2];
+            if (bb.kind == Tok::kIdent) {
+              base = bb.text + pv.text + base;
+              b -= 2;
+              continue;
+            }
+            if (bb.kind == Tok::kPunct && bb.text == ")") {
+              // chained call: ...global().method( — walk to the matching '('
+              std::size_t open = b - 2;
+              int d = 0;
+              while (open > 0) {
+                if (is_punct(open, ")")) ++d;
+                if (is_punct(open, "(") && --d == 0) break;
+                --open;
+              }
+              std::string callexpr = "()";
+              if (open >= 1 && t_[open - 1].kind == Tok::kIdent) {
+                callexpr = t_[open - 1].text + "()";
+                base = callexpr + pv.text + base;
+                b = open - 1;
+                continue;
+              }
+              base = callexpr + pv.text + base;
+              b = open;
+              continue;
+            }
+          }
+        }
+        break;
+      }
+      if (!base.empty() && base.back() == ':') base.pop_back();
+      if (!base.empty() && base.back() == ':') base.pop_back();
+      if (!base.empty() &&
+          (base.back() == '.' ||
+           (base.size() >= 2 && base.compare(base.size() - 2, 2, "->") == 0))) {
+        // trailing separator from the loop; trim
+        while (!base.empty() && !(std::isalnum(static_cast<unsigned char>(
+                                      base.back())) ||
+                                  base.back() == '_' || base.back() == ')')) {
+          base.pop_back();
+        }
+      }
+      cs.base_text = base;
+      // Argument ranges at depth 1.
+      const std::size_t close = match(i + 1);
+      std::size_t arg_start = i + 2;
+      int d = 0;
+      for (std::size_t k = i + 1; k < close; ++k) {
+        if (is_punct(k, "(") || is_punct(k, "[") || is_punct(k, "{")) ++d;
+        if (is_punct(k, ")") || is_punct(k, "]") || is_punct(k, "}")) --d;
+        if (d == 1 && is_punct(k, ",")) {
+          if (k > arg_start) cs.args.push_back({arg_start, k});
+          arg_start = k + 1;
+        }
+      }
+      if (close >= 2 && close - 1 > arg_start) {
+        cs.args.push_back({arg_start, close - 1});
+      }
+      cs.locks = held(ctx);
+      f.calls.push_back(cs);
+      return;
+    }
+
+    // Assignment: IDENT = / += ... ; (only when IDENT starts the statement
+    // or follows ; { } — otherwise it is a sub-expression comparison etc.)
+    if (i + 1 < t_.size() && t_[i + 1].kind == Tok::kPunct) {
+      const std::string& op = t_[i + 1].text;
+      if (op == "=" || op == "+=" || op == "|=" || op == "^=") {
+        std::size_t k = i + 2;
+        int d = 0;
+        while (k < t_.size()) {
+          if (is_punct(k, "(") || is_punct(k, "[") || is_punct(k, "{")) ++d;
+          if (is_punct(k, ")") || is_punct(k, "]") || is_punct(k, "}")) --d;
+          if (d == 0 && is_punct(k, ";")) break;
+          if (d < 0) break;
+          ++k;
+        }
+        f.assigns.push_back({w, {i + 2, k}, t_[i].line});
+      }
+    }
+
+    // Field access on the enclosing record (bare or this->).
+    const std::string rec = enclosing_record(f);
+    if (!rec.empty()) {
+      bool other_base = false;
+      if (i >= 2 && t_[i - 1].kind == Tok::kPunct &&
+          (t_[i - 1].text == "." || t_[i - 1].text == "->")) {
+        other_base = !(t_[i - 2].kind == Tok::kIdent &&
+                       t_[i - 2].text == "this");
+      }
+      if (!other_base) {
+        const Record* r2 = proj_.find_record(rec);
+        if (r2 != nullptr && r2->field(w) != nullptr) {
+          f.accesses.push_back(
+              {rec, w, t_[i].line, i, f.is_lambda, held(ctx)});
+        }
+        if (r2 != nullptr && r2->field(w) != nullptr) return;
+      }
+    }
+    // Field access through a typed local/param: obj.field / obj->field.
+    if (i + 2 < t_.size() && t_[i + 1].kind == Tok::kPunct &&
+        (t_[i + 1].text == "." || t_[i + 1].text == "->") &&
+        t_[i + 2].kind == Tok::kIdent && !is_punct(i + 3, "(")) {
+      const std::string owner = resolve_record_of_var(fid, w);
+      if (!owner.empty()) {
+        const Record* r2 = proj_.find_record(owner);
+        if (r2 != nullptr && r2->field(t_[i + 2].text) != nullptr) {
+          f.accesses.push_back({owner, t_[i + 2].text, t_[i + 2].line, i + 2,
+                                f.is_lambda, held(ctx)});
+        }
+      }
+    }
+  }
+};
+
+// Parse every unit: phase A across all files, then phase B.
+inline void parse_project(Project& proj) {
+  for (std::size_t u = 0; u < proj.units.size(); ++u) {
+    Parser p(proj, static_cast<int>(u));
+    p.parse_structure();
+  }
+  proj.index();
+  for (std::size_t u = 0; u < proj.units.size(); ++u) {
+    Parser p(proj, static_cast<int>(u));
+    p.parse_bodies();
+  }
+  proj.index();  // lambdas appended during phase B
+}
+
+}  // namespace p3s::lint

@@ -1,0 +1,17 @@
+// Seeded violation: a field annotated P3S_GUARDED_BY must be accessed with
+// its mutex held. inc() locks correctly; read() touches the field bare.
+// Exactly one finding.
+#include <mutex>
+
+class SharedCounter {
+ public:
+  void inc() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++n_;  // ok: mu_ held
+  }
+  long read() const { return n_; }  // <- guarded-by (no lock)
+
+ private:
+  mutable std::mutex mu_;
+  long n_ P3S_GUARDED_BY(mu_) = 0;
+};

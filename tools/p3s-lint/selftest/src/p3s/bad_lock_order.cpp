@@ -1,0 +1,17 @@
+// Seeded violation: two call paths acquire the same two mutexes in
+// opposite orders — a latent deadlock even if today's schedules dodge it.
+// Exactly one finding (the cycle is reported once).
+#include <mutex>
+
+std::mutex order_mu_a;
+std::mutex order_mu_b;
+
+void take_a_then_b() {
+  std::lock_guard<std::mutex> la(order_mu_a);
+  std::lock_guard<std::mutex> lb(order_mu_b);
+}
+
+void take_b_then_a() {
+  std::lock_guard<std::mutex> lb(order_mu_b);
+  std::lock_guard<std::mutex> la(order_mu_a);  // <- lock-order cycle
+}

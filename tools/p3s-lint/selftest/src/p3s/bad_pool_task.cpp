@@ -1,0 +1,16 @@
+// Seeded violation: a lambda handed to a pool entry point reaches a
+// P3S_BLOCKING callee. Sends must stay serial on the caller — this is the
+// machine check behind that invariant. Exactly one finding.
+#include <cstddef>
+
+struct FixturePool {
+  void parallel_for(std::size_t begin, std::size_t end, int grain);
+};
+
+void fixture_send(int frame) P3S_BLOCKING;
+
+void fixture_fanout(FixturePool& pool) {
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    fixture_send(static_cast<int>(i));  // <- no-block (blocking in pool task)
+  });
+}

@@ -1,0 +1,20 @@
+// Seeded violations: registry-named secrets (params here) must not flow
+// into log lines or branch conditions. Exactly two findings: one
+// taint-to-log, one taint-to-branch (via an assignment hop).
+#include <cstdint>
+
+struct LogLine {
+  LogLine& operator<<(const unsigned char* v);
+  LogLine& operator<<(std::uint64_t v);
+};
+LogLine log_warn(const char* component);
+
+void fixture_log(const unsigned char* session_key) {
+  log_warn("ds") << session_key;  // <- secret-taint (log)
+}
+
+bool fixture_branch(std::uint64_t master_secret) {
+  const std::uint64_t derived = master_secret + 1;  // taint propagates
+  if (derived) return true;  // <- secret-taint (branch)
+  return false;
+}

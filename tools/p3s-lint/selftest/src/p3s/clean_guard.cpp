@@ -1,0 +1,23 @@
+// Clean twin of bad_guard.cpp: every access to the annotated field holds
+// the mutex, either lexically or via a P3S_REQUIRES contract; the
+// constructor is exempt (no sharing yet).
+#include <mutex>
+
+class GuardedCounter {
+ public:
+  GuardedCounter() { n_ = 0; }  // ctor owns the object exclusively
+  void inc() {
+    std::lock_guard<std::mutex> lock(mu_);
+    bump();
+  }
+  long read() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return n_;
+  }
+
+ private:
+  void bump() P3S_REQUIRES(mu_) { ++n_; }
+
+  mutable std::mutex mu_;
+  long n_ P3S_GUARDED_BY(mu_) = 0;
+};

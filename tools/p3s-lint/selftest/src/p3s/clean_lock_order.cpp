@@ -1,0 +1,21 @@
+// Clean twin of bad_lock_order.cpp: both paths (one of them through a
+// callee) acquire the two mutexes in the same global order, so the
+// acquisition graph stays acyclic.
+#include <mutex>
+
+std::mutex ordered_mu_a;
+std::mutex ordered_mu_b;
+
+void ordered_inner() {
+  std::lock_guard<std::mutex> lb(ordered_mu_b);
+}
+
+void ordered_path_one() {
+  std::lock_guard<std::mutex> la(ordered_mu_a);
+  std::lock_guard<std::mutex> lb(ordered_mu_b);
+}
+
+void ordered_path_two() {
+  std::lock_guard<std::mutex> la(ordered_mu_a);
+  ordered_inner();  // still a -> b through the call
+}

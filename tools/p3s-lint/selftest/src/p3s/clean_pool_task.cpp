@@ -1,0 +1,17 @@
+// Clean twin of bad_pool_task.cpp: the pool task does pure CPU work into a
+// preallocated slot; the send happens serially on the caller after the
+// parallel section completes.
+#include <cstddef>
+
+struct FixturePool2 {
+  void parallel_for(std::size_t begin, std::size_t end, int grain);
+};
+
+void fixture_send2(int frame) P3S_BLOCKING;
+
+void clean_fanout(FixturePool2& pool, int* out) {
+  pool.parallel_for(0, 4, [&](std::size_t i) {
+    out[i] = static_cast<int>(i) * 2;  // pure CPU, no blocking
+  });
+  fixture_send2(out[0]);  // serial send on the caller: fine
+}

@@ -1,0 +1,22 @@
+// Clean twin of bad_taint.cpp: the same secret-named values, but only
+// laundered information escapes — method-call results (sizes, lookups) are
+// clean by design, and raw secrets may flow INTO blessed crypto calls.
+#include <cstdint>
+
+struct LogLine2 {
+  LogLine2& operator<<(std::uint64_t v);
+};
+LogLine2 log_info(const char* component);
+
+struct Buf {
+  std::uint64_t size() const;
+};
+
+void clean_log(const Buf& session_key) {
+  log_info("ds") << session_key.size();  // length is not the secret
+}
+
+bool clean_branch(const Buf& session_key) {
+  if (session_key.size() == 0) return false;  // branches on length only
+  return true;
+}

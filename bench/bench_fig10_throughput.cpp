@@ -76,6 +76,23 @@ int main() {
   std::printf("  [%s] 10->100 Mbps helps both equally (base x%.1f, p3s x%.1f)\n",
               std::abs(gain_base - gain_p3s) < 0.5 ? "ok" : "FAIL", gain_base,
               gain_p3s);
+  // Privacy/throughput trade-off at the high match rate (DESIGN.md §11):
+  // with f=50% the RS NIC carries most of the load, so padding+cover bite
+  // hardest exactly where P3S was winning.
+  model::ModelParams ph = p50;
+  ph.anon_pad_overhead = 0.05;
+  ph.anon_cover_fraction = 0.25;
+  std::printf("\n=== Privacy/throughput trade-off at f=50%% (pad=%.0f%%, "
+              "cover=%.0f%%) ===\n\n",
+              ph.anon_pad_overhead * 100.0, ph.anon_cover_fraction * 100.0);
+  std::printf("%10s  %12s  %12s  %8s\n", "payload", "plain(pub/s)",
+              "hard(pub/s)", "cost");
+  for (double sz : sizes) {
+    const double plain = model::p3s_throughput(p50, sz).total();
+    const double hard = model::p3s_throughput(ph, sz).total();
+    std::printf("%10s  %12.4f  %12.4f  %7.1f%%\n", human_bytes(sz).c_str(),
+                plain, hard, (1.0 - hard / plain) * 100.0);
+  }
   p3s::benchutil::emit_metrics("fig10_throughput");
   return 0;
 }

@@ -81,6 +81,23 @@ int main() {
     const auto tp = model::p3s_throughput(pw, 1024.0);
     std::printf("%8u  %12.4f  %14s\n", w, tp.total(), tp.bottleneck());
   }
+  // Privacy/throughput trade-off (DESIGN.md §11): the same curve with the
+  // anonymizer/DS hardening on — bucketed padding (~half a 1KB bucket dead
+  // per ~10KB metadata frame) and one cover frame per four genuine ones.
+  model::ModelParams ph = p;
+  ph.anon_pad_overhead = 0.05;
+  ph.anon_cover_fraction = 0.25;
+  std::printf("\n=== Privacy/throughput trade-off: hardening off vs on "
+              "(pad=%.0f%%, cover=%.0f%%) ===\n\n",
+              ph.anon_pad_overhead * 100.0, ph.anon_cover_fraction * 100.0);
+  std::printf("%10s  %12s  %12s  %8s\n", "payload", "plain(pub/s)",
+              "hard(pub/s)", "cost");
+  for (double c : sizes) {
+    const double plain = model::p3s_throughput(p, c).total();
+    const double hard = model::p3s_throughput(ph, c).total();
+    std::printf("%10s  %12.4f  %12.4f  %7.1f%%\n", human_bytes(c).c_str(),
+                plain, hard, (1.0 - hard / plain) * 100.0);
+  }
   p3s::benchutil::emit_metrics("fig9_throughput");
   return 0;
 }

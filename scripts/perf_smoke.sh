@@ -40,7 +40,7 @@ trap 'rm -rf "$tmpdir"' EXIT
 # per awk record, which POSIX match()/substr() can then field out.
 extract() {
   tr '{' '\n' < "$1" | awk '
-    /"name":"p3s\.(crypto|ds|pub|sub|exec)\.[a-z0-9_.]*_seconds"/ && /"type":"histogram"/ {
+    /"name":"p3s\.(anon|crypto|ds|pub|sub|exec)\.[a-z0-9_.]*_seconds"/ && /"type":"histogram"/ {
       name = ""; count = 0; p50 = ""
       if (match($0, /"name":"[^"]*"/))
         name = substr($0, RSTART + 8, RLENGTH - 9)

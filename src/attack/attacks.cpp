@@ -1,0 +1,194 @@
+#include "attack/attacks.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <set>
+#include <sstream>
+
+#include "obs/catalog.hpp"
+#include "obs/metrics.hpp"
+
+namespace p3s::attack {
+
+namespace {
+
+struct AttackMetrics {
+  obs::Registry& reg = obs::Registry::global();
+  obs::Counter& scenarios = reg.counter(obs::names::kAttackScenariosTotal);
+  obs::Counter& frames = reg.counter(obs::names::kAttackFramesObservedTotal);
+  obs::Counter& probes = reg.counter(obs::names::kAttackProbesTotal);
+  obs::Counter& guesses = reg.counter(obs::names::kAttackGuessesTotal);
+  obs::Counter& correct = reg.counter(obs::names::kAttackGuessesCorrectTotal);
+  obs::Gauge& advantage = reg.gauge(obs::names::kAttackAdvantageBps);
+};
+
+AttackMetrics& attack_metrics() {
+  static AttackMetrics m;
+  return m;
+}
+
+}  // namespace
+
+AttackReport classify_by_reaction(
+    const std::string& name, const EavesdropperObserver& observer,
+    const std::vector<PublishEvent>& schedule, bool probes_only,
+    const std::map<std::string, std::string>& truth,
+    const ReactionFilter& is_reaction, const std::vector<std::string>& topics,
+    double budget) {
+  AttackReport report;
+  report.name = name;
+  report.budget = budget;
+
+  // Window i = (t_i, t_{i+1}]; the last window is open-ended so tail
+  // reactions (e.g. a hardened relay flushing after the schedule ended)
+  // still attribute — to the LAST publication, which is exactly the
+  // misattribution the mixing defense creates.
+  struct Window {
+    double after = 0.0;
+    double until = 0.0;
+    std::string topic;
+  };
+  std::vector<Window> windows;
+  for (std::size_t i = 0; i < schedule.size(); ++i) {
+    if (probes_only && !schedule[i].probe) continue;
+    const double until = i + 1 < schedule.size()
+                             ? schedule[i + 1].time
+                             : std::numeric_limits<double>::infinity();
+    windows.push_back({schedule[i].time, until, schedule[i].topic});
+  }
+
+  for (const auto& [victim, actual_topic] : truth) {
+    std::map<std::string, std::size_t> hits;
+    std::map<std::string, std::size_t> totals;
+    for (const Window& w : windows) {
+      ++totals[w.topic];
+      bool reacted = false;
+      for (const Sighting& s : observer.sightings()) {
+        if (s.time <= w.after || s.time > w.until) continue;
+        if (is_reaction(s, victim)) {
+          reacted = true;
+          break;
+        }
+      }
+      if (reacted) ++hits[w.topic];
+    }
+    // Argmax by reaction rate; ties resolve to the earliest topic in
+    // `topics` so an all-flat profile degrades to the uniform prior.
+    std::string guess = topics.empty() ? std::string() : topics.front();
+    double best = -1.0;
+    for (const std::string& topic : topics) {
+      const auto t = totals.find(topic);
+      const double rate =
+          (t == totals.end() || t->second == 0)
+              ? 0.0
+              : static_cast<double>(hits[topic]) /
+                    static_cast<double>(t->second);
+      if (rate > best) {
+        best = rate;
+        guess = topic;
+      }
+    }
+    ++report.samples;
+    if (guess == actual_topic) ++report.correct;
+  }
+
+  const double chance =
+      topics.empty() ? 0.0 : 1.0 / static_cast<double>(topics.size());
+  const double accuracy =
+      report.samples == 0 ? 0.0
+                          : static_cast<double>(report.correct) /
+                                static_cast<double>(report.samples);
+  report.advantage = std::max(0.0, accuracy - chance);
+  std::ostringstream detail;
+  detail << report.correct << "/" << report.samples << " victims classified ("
+         << windows.size() << " windows)";
+  report.detail = detail.str();
+  return report;
+}
+
+AttackReport frequency_attack(const EavesdropperObserver& observer,
+                              const std::vector<PublishEvent>& schedule,
+                              const std::map<std::string, std::string>& truth,
+                              const std::string& relay,
+                              const std::vector<std::string>& topics,
+                              double budget) {
+  return classify_by_reaction(
+      "frequency", observer, schedule, /*probes_only=*/false, truth,
+      [&relay](const Sighting& s, const std::string& victim) {
+        return s.from == victim && s.to == relay;
+      },
+      topics, budget);
+}
+
+AttackReport probe_attack(const EavesdropperObserver& observer,
+                          const std::vector<PublishEvent>& schedule,
+                          const std::map<std::string, std::string>& truth,
+                          const std::string& relay,
+                          const std::vector<std::string>& topics,
+                          double budget) {
+  return classify_by_reaction(
+      "probe", observer, schedule, /*probes_only=*/true, truth,
+      [&relay](const Sighting& s, const std::string& victim) {
+        return s.from == victim && s.to == relay;
+      },
+      topics, budget);
+}
+
+AttackReport intersection_attack(
+    const EavesdropperObserver& observer,
+    const std::vector<PublishEvent>& schedule,
+    const std::map<std::string, std::string>& truth, const std::string& rs,
+    const std::vector<std::string>& topics, double budget) {
+  // The malicious RS only sees its own ingress. With an anonymizer in the
+  // path every request arrives from the relay, is_reaction never fires for
+  // any victim, and classification collapses to the uniform prior.
+  AttackReport report = classify_by_reaction(
+      "intersection", observer, schedule, /*probes_only=*/false, truth,
+      [&rs](const Sighting& s, const std::string& victim) {
+        return s.to == rs && s.from == victim;
+      },
+      topics, budget);
+  std::set<std::string> requesters;
+  for (const Sighting& s : observer.on_link("", rs)) requesters.insert(s.from);
+  std::ostringstream detail;
+  detail << report.detail << "; " << requesters.size()
+         << " distinct requesters at RS";
+  report.detail = detail.str();
+  return report;
+}
+
+AttackReport replay_attack(std::size_t broadcasts, std::size_t subscribers,
+                           std::size_t metadata_received_total,
+                           double budget) {
+  AttackReport report;
+  report.name = "replay";
+  report.budget = budget;
+  const std::size_t wanted = broadcasts * subscribers;
+  report.samples = wanted;
+  report.correct = 0;
+  if (wanted > 0 && metadata_received_total > wanted) {
+    report.advantage =
+        static_cast<double>(metadata_received_total - wanted) /
+        static_cast<double>(wanted);
+  }
+  std::ostringstream detail;
+  detail << metadata_received_total << " metadata processed for " << wanted
+         << " genuine broadcasts";
+  report.detail = detail.str();
+  return report;
+}
+
+void emit_attack_metrics(const AttackReport& report,
+                         std::size_t frames_observed, std::size_t probes) {
+  AttackMetrics& m = attack_metrics();
+  m.scenarios.inc();
+  m.frames.inc(frames_observed);
+  m.probes.inc(probes);
+  m.guesses.inc(report.samples);
+  m.correct.inc(report.correct);
+  m.advantage.set(static_cast<std::int64_t>(
+      std::lround(report.advantage * 10000.0)));
+}
+
+}  // namespace p3s::attack

@@ -83,12 +83,21 @@ P3sLatency p3s_latency_hierarchical(const ModelParams& p, double payload_bytes,
 P3sThroughput p3s_throughput(const ModelParams& p, double payload_bytes) {
   P3sThroughput out;
   const double c_a = p.abe_ct_bytes(payload_bytes);
+  // Hardened shaping (DESIGN.md §11): padding inflates every frame's wire
+  // cost, cover traffic multiplies the frame count — both scale the NIC-bound
+  // rates down by (1+pad)(1+cover). Cover broadcasts additionally consume
+  // subscriber match time (a garbage HVE matches like a real one), so the
+  // match rate pays the cover factor but not the padding one.
+  const double wire_shaping =
+      (1.0 + p.anon_pad_overhead) * (1.0 + p.anon_cover_fraction);
   out.r_ds = p.bandwidth_bps / (p.metadata_ct_bytes * 8.0 *
-                                static_cast<double>(p.n_subscribers));
-  out.r_match = static_cast<double>(p.sub_match_threads) / p.t_pbe_match_s;
+                                static_cast<double>(p.n_subscribers) *
+                                wire_shaping);
+  out.r_match = static_cast<double>(p.sub_match_threads) /
+                (p.t_pbe_match_s * (1.0 + p.anon_cover_fraction));
   out.r_rs = p.bandwidth_bps /
              (c_a * 8.0 * static_cast<double>(p.n_subscribers) *
-              p.match_fraction);
+              p.match_fraction * wire_shaping);
   return out;
 }
 

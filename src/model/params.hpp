@@ -35,6 +35,17 @@ struct ModelParams {
   unsigned broker_threads = 4;     ///< z: broker matching threads (baseline)
   unsigned sub_match_threads = 2;  ///< w: subscriber PBE-match threads (paper: 2)
 
+  // --- traffic-shaping overheads (DESIGN.md §11 hardening) ----------------------
+  /// Fractional byte inflation from bucketed frame padding (0.0 = off). A
+  /// frame padded to the next multiple of a bucket carries on average half a
+  /// bucket of dead bytes; callers derive the fraction from their bucket /
+  /// typical-frame-size ratio.
+  double anon_pad_overhead = 0.0;
+  /// Cover/decoy frames injected per genuine frame (0.0 = off). Cover
+  /// broadcasts also burn subscriber match time: a garbage HVE ciphertext is
+  /// indistinguishable from a real one until the match fails.
+  double anon_cover_fraction = 0.0;
+
   /// CP-ABE ciphertext size: c_A = c + 2vk (two group elements of k bits per
   /// policy attribute; paper: "estimated from theory to be c_A = 2vk + c").
   double abe_ct_bytes(double payload_bytes) const {

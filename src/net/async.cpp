@@ -50,21 +50,26 @@ void AsyncNetwork::count_drop(const std::string& from, const std::string& to) {
 void AsyncNetwork::send(const std::string& from, const std::string& to,
                         Bytes frame) {
   ++tick_;
-  // The wire sees the frame whether or not it survives: the traffic log is
-  // the eavesdropper's view, and loss happens past the observation point.
-  record(from, to, frame);
   if (!plan_.has_value()) {
+    record(from, to, frame);
     queue_.push_back(InFlight{from, to, std::move(frame), tick_});
     return;
   }
   NetFaultMetrics& metrics = net_fault_metrics();
   const double t = now();
   if (plan_->in_blackout(from, t)) {
-    // A dark sender's frames never leave the host segment.
+    // A dark sender's frames never leave the host segment — they are lost
+    // before the wire, so the eavesdropper (whose tap is the wire) never
+    // sees them. Plan drops and receiver blackouts below happen PAST the
+    // observation point and stay in the traffic log.
     count_drop(from, to);
     metrics.blackout_dropped.inc();
     return;
   }
+  // The wire sees the frame whether or not it survives delivery: the traffic
+  // log is the eavesdropper's view, and loss happens past the observation
+  // point (a duplicate appears twice — once per wire appearance).
+  record(from, to, frame);
   if (plan_->should_drop(from, to)) {
     count_drop(from, to);
     metrics.dropped.inc();

@@ -37,6 +37,11 @@ void register_catalog(Registry& r) {
   r.histogram(kDsFanoutSeconds, {}, "seconds",
               "one metadata fanout: seal (parallel) + send to all subscribers",
               lat);
+  r.counter(kDsBatchFlushesTotal, {}, "1",
+            "batched broadcast flushes executed");
+  r.counter(kDsCoverTotal, {}, "1", "garbage cover broadcasts injected");
+  r.counter(kDsPadBytesTotal, {}, "bytes",
+            "pad bytes added to broadcast frames");
 
   // Repository server.
   r.counter(kRsStoreTotal, {}, "1", "items stored");
@@ -64,6 +69,18 @@ void register_catalog(Registry& r) {
   r.counter(kAnonForwardedTotal, {}, "1", "requests relayed to a service");
   r.counter(kAnonRepliesTotal, {}, "1", "replies relayed back");
   r.gauge(kAnonPending, {}, "1", "requests awaiting a reply");
+  r.gauge(kAnonHeld, {}, "1", "requests held for the next batch flush");
+  r.counter(kAnonBatchFlushesTotal, {}, "1", "batch flushes executed");
+  r.histogram(kAnonBatchSize, {}, "1",
+              "requests (real + decoy) relayed per batch flush",
+              Histogram::exponential_bounds(1.0, 2.0, 12));
+  r.histogram(kAnonFlushSeconds, {}, "seconds",
+              "one batch flush: shuffle, pad, decoy synthesis, sends", lat);
+  r.counter(kAnonCoverTotal, {}, "1", "decoy cover fetches injected");
+  r.counter(kAnonDecoyRepliesTotal, {}, "1",
+            "service replies to decoys absorbed (never relayed)");
+  r.counter(kAnonPadBytesTotal, {}, "bytes",
+            "pad bytes added to relayed frames");
 
   // Subscriber.
   r.counter(kSubMetadataReceivedTotal, {}, "1", "metadata broadcasts seen");
@@ -159,6 +176,19 @@ void register_catalog(Registry& r) {
             "channel re-establishments triggered by repeated timeouts");
   r.counter(kClientTimeoutTotal, {}, "1",
             "request deadlines that expired without a response");
+
+  // Adversarial suite (src/attack).
+  r.counter(kAttackScenariosTotal, {}, "1", "attack scenarios executed");
+  r.counter(kAttackFramesObservedTotal, {}, "1",
+            "traffic records ingested by the eavesdropper observer");
+  r.counter(kAttackProbesTotal, {}, "1",
+            "chosen publications injected by the probe adversary");
+  r.counter(kAttackGuessesTotal, {}, "1",
+            "adversary guesses evaluated against ground truth");
+  r.counter(kAttackGuessesCorrectTotal, {}, "1",
+            "adversary guesses that matched ground truth");
+  r.gauge(kAttackAdvantageBps, {}, "1",
+          "last measured adversary advantage, in basis points");
 }
 
 }  // namespace p3s::obs

@@ -43,6 +43,9 @@ inline constexpr char kDsSubscribers[] = "p3s.ds.subscribers";
 inline constexpr char kDsPublishers[] = "p3s.ds.publishers";
 inline constexpr char kDsSessions[] = "p3s.ds.sessions";
 inline constexpr char kDsFanoutSeconds[] = "p3s.ds.fanout_seconds";
+inline constexpr char kDsBatchFlushesTotal[] = "p3s.ds.batch_flushes_total";
+inline constexpr char kDsCoverTotal[] = "p3s.ds.cover_total";
+inline constexpr char kDsPadBytesTotal[] = "p3s.ds.pad_bytes_total";
 
 // --- repository server (paper §4.1, §4.3 "Deletion") -----------------------
 inline constexpr char kRsStoreTotal[] = "p3s.rs.store_total";
@@ -60,10 +63,19 @@ inline constexpr char kTsGentokenSeconds[] = "p3s.ts.gentoken_seconds";
 inline constexpr char kAraRegistrationsTotal[] =
     "p3s.ara.registrations_total";  // {role=}
 
-// --- anonymizing relay (paper §4.1) ----------------------------------------
+// --- anonymizing relay (paper §4.1; hardening DESIGN.md §11) ---------------
 inline constexpr char kAnonForwardedTotal[] = "p3s.anon.forwarded_total";
 inline constexpr char kAnonRepliesTotal[] = "p3s.anon.replies_total";
 inline constexpr char kAnonPending[] = "p3s.anon.pending";
+inline constexpr char kAnonHeld[] = "p3s.anon.held";
+inline constexpr char kAnonBatchFlushesTotal[] =
+    "p3s.anon.batch_flushes_total";
+inline constexpr char kAnonBatchSize[] = "p3s.anon.batch_size";
+inline constexpr char kAnonFlushSeconds[] = "p3s.anon.flush_seconds";
+inline constexpr char kAnonCoverTotal[] = "p3s.anon.cover_total";
+inline constexpr char kAnonDecoyRepliesTotal[] =
+    "p3s.anon.decoy_replies_total";
+inline constexpr char kAnonPadBytesTotal[] = "p3s.anon.pad_bytes_total";
 
 // --- subscriber (paper §4.3, Figs. 3 & 4) ----------------------------------
 inline constexpr char kSubMetadataReceivedTotal[] =
@@ -142,6 +154,19 @@ inline constexpr char kNetFaultReorderedTotal[] =
     "p3s.net.fault_reordered_total";
 inline constexpr char kNetFaultBlackoutDroppedTotal[] =
     "p3s.net.fault_blackout_dropped_total";
+
+// --- adversarial suite (src/attack; DESIGN.md §11) -------------------------
+// Emitted by the attack harness, not the data path: how much attack traffic
+// ran and how well the adversary did, so hardening regressions show up in
+// dashboards the same way perf regressions do.
+inline constexpr char kAttackScenariosTotal[] = "p3s.attack.scenarios_total";
+inline constexpr char kAttackFramesObservedTotal[] =
+    "p3s.attack.frames_observed_total";
+inline constexpr char kAttackProbesTotal[] = "p3s.attack.probes_total";
+inline constexpr char kAttackGuessesTotal[] = "p3s.attack.guesses_total";
+inline constexpr char kAttackGuessesCorrectTotal[] =
+    "p3s.attack.guesses_correct_total";
+inline constexpr char kAttackAdvantageBps[] = "p3s.attack.advantage_bps";
 
 // --- reliable request layer (pub/sub clients; DESIGN.md "Reliability") -----
 inline constexpr char kClientRetryTotal[] = "p3s.client.retry_total";

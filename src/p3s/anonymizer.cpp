@@ -1,9 +1,13 @@
 #include "p3s/anonymizer.hpp"
 
+#include <utility>
+
+#include "common/guid.hpp"
 #include "common/log.hpp"
+#include "common/serial.hpp"
 #include "obs/catalog.hpp"
 #include "obs/metrics.hpp"
-#include "p3s/messages.hpp"
+#include "pairing/ecies.hpp"
 
 namespace p3s::core {
 
@@ -13,16 +17,38 @@ struct AnonMetrics {
   obs::Counter& forwarded = reg.counter(obs::names::kAnonForwardedTotal);
   obs::Counter& replies = reg.counter(obs::names::kAnonRepliesTotal);
   obs::Gauge& pending = reg.gauge(obs::names::kAnonPending);
+  obs::Gauge& held = reg.gauge(obs::names::kAnonHeld);
+  obs::Counter& batch_flushes =
+      reg.counter(obs::names::kAnonBatchFlushesTotal);
+  obs::Histogram& batch_size = reg.histogram(
+      obs::names::kAnonBatchSize, {}, "1", "",
+      obs::Histogram::exponential_bounds(1.0, 2.0, 12));
+  obs::Histogram& flush_seconds =
+      reg.histogram(obs::names::kAnonFlushSeconds);
+  obs::Counter& cover = reg.counter(obs::names::kAnonCoverTotal);
+  obs::Counter& decoy_replies =
+      reg.counter(obs::names::kAnonDecoyRepliesTotal);
+  obs::Counter& pad_bytes = reg.counter(obs::names::kAnonPadBytesTotal);
 };
 
 AnonMetrics& anon_metrics() {
   static AnonMetrics m;
   return m;
 }
+
+Bytes seed_bytes(std::uint64_t seed) {
+  Writer w;
+  w.u64(seed);
+  return w.take();
+}
 }  // namespace
 
-Anonymizer::Anonymizer(net::Network& network, std::string name)
-    : network_(network), name_(std::move(name)) {
+Anonymizer::Anonymizer(net::Network& network, std::string name,
+                       AnonHardening hardening)
+    : network_(network),
+      name_(std::move(name)),
+      hard_(hardening),
+      drbg_(seed_bytes(hardening.seed)) {
   network_.register_endpoint(name_, [this](const std::string& from,
                                            BytesView frame) {
     on_frame(from, frame);
@@ -30,6 +56,85 @@ Anonymizer::Anonymizer(net::Network& network, std::string name)
 }
 
 Anonymizer::~Anonymizer() { network_.unregister_endpoint(name_); }
+
+void Anonymizer::enable_cover(pairing::PairingPtr pairing, std::string rs_name,
+                              pairing::Point rs_pk) {
+  cover_ = Cover{std::move(pairing), std::move(rs_name), rs_pk};
+}
+
+double Anonymizer::jittered(double base) {
+  if (hard_.flush_jitter <= 0.0) return base;
+  std::uint64_t x = 0;
+  for (const std::uint8_t b : drbg_.bytes(8)) x = (x << 8) | b;
+  return base +
+         hard_.flush_jitter * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
+Bytes Anonymizer::maybe_pad(Bytes frame) {
+  if (hard_.pad_bucket == 0) return frame;
+  const std::size_t before = frame.size();
+  Bytes padded = pad_to_bucket(std::move(frame), hard_.pad_bucket, drbg_);
+  anon_metrics().pad_bytes.inc(padded.size() - before);
+  return padded;
+}
+
+void Anonymizer::relay(const Held& h) {
+  network_.send(name_, h.destination,
+                maybe_pad(tagged_frame(h.type, h.tag, h.payload)));
+}
+
+Anonymizer::Held Anonymizer::make_decoy() {
+  // Byte-compatible with Subscriber::request_content: fresh 32-byte Ks and a
+  // random "GUID" inside an ECIES envelope to the RS. The RS answers a clean
+  // kStatusNotFound sealed under the throwaway Ks; the reply is absorbed
+  // here. Neither the wire nor the RS can tell a decoy from a real miss.
+  Writer plain;
+  plain.bytes(drbg_.bytes(32));
+  plain.raw(drbg_.bytes(Guid::kSize));
+  const Bytes blob = pairing::ecies_encrypt(*cover_->pairing, cover_->rs_pk,
+                                            plain.data(), drbg_);
+  Held h;
+  h.destination = cover_->rs_name;
+  h.type = FrameType::kContentRequest;
+  h.tag = next_tag_++;
+  h.payload = blob;
+  decoy_tags_.insert(h.tag);
+  anon_metrics().cover.inc();
+  return h;
+}
+
+void Anonymizer::flush() {
+  flush_deadline_.reset();
+  AnonMetrics& metrics = anon_metrics();
+  if (held_.empty()) return;  // empty flush: nothing to mix, nothing sent
+  obs::ScopedTimer timer(metrics.reg, metrics.flush_seconds,
+                         obs::names::kAnonFlushSeconds);
+  // No crowd to hide in? Pad the batch with decoys up to min_batch (a lone
+  // real request would otherwise be trivially linkable). Without cover
+  // material the request was already held until the deadline — "pad or
+  // hold", and past the deadline it must go out regardless.
+  while (cover_.has_value() && held_.size() < hard_.min_batch) {
+    held_.push_back(make_decoy());
+  }
+  // DRBG Fisher–Yates: the flush order is independent of arrival order, so
+  // position in the burst cannot link a forward back to its requester.
+  for (std::size_t i = held_.size(); i > 1; --i) {
+    std::uint64_t x = 0;
+    for (const std::uint8_t b : drbg_.bytes(8)) x = (x << 8) | b;
+    std::swap(held_[i - 1], held_[static_cast<std::size_t>(x % i)]);
+  }
+  for (const Held& h : held_) relay(h);
+  metrics.batch_flushes.inc();
+  metrics.batch_size.record(static_cast<double>(held_.size()));
+  held_.clear();
+  metrics.held.set(0);
+}
+
+void Anonymizer::poll() {
+  if (flush_deadline_.has_value() && network_.now() >= *flush_deadline_) {
+    flush();
+  }
+}
 
 void Anonymizer::on_frame(const std::string& from, BytesView data) {
   try {
@@ -39,7 +144,7 @@ void Anonymizer::on_frame(const std::string& from, BytesView data) {
       // {destination, request frame}: rewrite the request's tag and relay.
       const std::string dest = r.str();
       const Bytes request = r.bytes();
-      r.expect_done();
+      skip_pad(r);
 
       Reader rr(request);
       const FrameType req_type = read_frame_type(rr);
@@ -50,21 +155,43 @@ void Anonymizer::on_frame(const std::string& from, BytesView data) {
       AnonMetrics& metrics = anon_metrics();
       metrics.forwarded.inc();
       metrics.pending.set(static_cast<std::int64_t>(pending_.size()));
-      network_.send(name_, dest, tagged_frame(req_type, tag, body.payload));
+      Held held;
+      held.destination = dest;
+      held.type = req_type;
+      held.tag = tag;
+      held.payload = std::move(body.payload);
+      if (!hard_.batching) {
+        relay(held);
+        return;
+      }
+      held_.push_back(std::move(held));
+      metrics.held.set(static_cast<std::int64_t>(held_.size()));
+      if (held_.size() >= hard_.batch_size) {
+        flush();
+      } else if (!flush_deadline_.has_value()) {
+        flush_deadline_ = network_.now() + jittered(hard_.flush_interval);
+      }
       return;
     }
     if (type == FrameType::kContentResponse ||
         type == FrameType::kTokenResponse) {
       TaggedBody body = read_tagged(r);
+      AnonMetrics& metrics = anon_metrics();
+      if (decoy_tags_.erase(body.tag) > 0) {
+        // A service answered one of our decoys: absorb it. Relaying would
+        // hand the eavesdropper a frame with no matching request upstream.
+        metrics.decoy_replies.inc();
+        return;
+      }
       const auto it = pending_.find(body.tag);
       if (it == pending_.end()) return;  // stale/unknown tag: drop
       const Pending origin = it->second;
       pending_.erase(it);
-      AnonMetrics& metrics = anon_metrics();
       metrics.replies.inc();
       metrics.pending.set(static_cast<std::int64_t>(pending_.size()));
-      network_.send(name_, origin.requester,
-                    tagged_frame(type, origin.original_tag, body.payload));
+      network_.send(
+          name_, origin.requester,
+          maybe_pad(tagged_frame(type, origin.original_tag, body.payload)));
       return;
     }
     log_warn("anon") << "unexpected frame type from " << from;

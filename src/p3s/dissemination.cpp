@@ -33,6 +33,10 @@ struct DsMetrics {
   obs::Gauge& sessions = reg.gauge(obs::names::kDsSessions);
   obs::Histogram& fanout_seconds =
       reg.histogram(obs::names::kDsFanoutSeconds);
+  obs::Counter& batch_flushes =
+      reg.counter(obs::names::kDsBatchFlushesTotal);
+  obs::Counter& cover = reg.counter(obs::names::kDsCoverTotal);
+  obs::Counter& pad_bytes = reg.counter(obs::names::kDsPadBytesTotal);
 };
 
 DsMetrics& ds_metrics() {
@@ -73,11 +77,37 @@ void DisseminationServer::crash_and_restart() {
   meta_ring_.clear();
   meta_base_ = 0;
   next_meta_index_ = 0;
+  pending_fanout_.clear();
+  fanout_deadline_.reset();
+  next_cover_.reset();
   ++incarnation_;
   DsMetrics& metrics = ds_metrics();
   metrics.sessions.set(0);
   metrics.subscribers.set(0);
   metrics.publishers.set(0);
+}
+
+std::size_t DisseminationServer::replay_broadcasts() {
+  std::size_t sent = 0;
+  for (std::uint64_t i = meta_base_; i < next_meta_index_; ++i) {
+    const Bytes& hve = meta_ring_[static_cast<std::size_t>(i - meta_base_)];
+    for (const std::string& sub : subscribers_) {
+      if (!sessions_.contains(sub)) continue;
+      Writer w;
+      if (reliable_subs_.contains(sub)) {
+        // Same broadcast index as the original: the sequenced layer can
+        // (and must) recognize and suppress the replay.
+        w.u8(static_cast<std::uint8_t>(FrameType::kMetadataDeliverySeq));
+        w.u64(i);
+      } else {
+        w.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
+      }
+      w.bytes(hve);
+      send_sealed(sub, w.data());
+      ++sent;
+    }
+  }
+  return sent;
 }
 
 void DisseminationServer::send_sealed(const std::string& to, BytesView inner) {
@@ -87,6 +117,74 @@ void DisseminationServer::send_sealed(const std::string& to, BytesView inner) {
   w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
   w.bytes(it->second.seal(inner, rng_));
   network_.send(name_, to, w.take());
+}
+
+void DisseminationServer::set_hardening(DsHardening hardening) {
+  hard_ = hardening;
+  if (hard_.any_enabled()) {
+    Writer seed;
+    seed.u64(hard_.seed);
+    hard_drbg_.emplace(seed.data());
+  }
+}
+
+double DisseminationServer::jittered(double base) {
+  if (!hard_drbg_.has_value() || hard_.flush_jitter <= 0.0) return base;
+  std::uint64_t x = 0;
+  for (const std::uint8_t b : hard_drbg_->bytes(8)) x = (x << 8) | b;
+  return base +
+         hard_.flush_jitter * (static_cast<double>(x >> 11) * 0x1.0p-53);
+}
+
+void DisseminationServer::schedule_fanout(const Bytes& hve_ciphertext) {
+  last_hve_size_ = hve_ciphertext.size();
+  if (!hard_.batching) {
+    fan_out_metadata(hve_ciphertext);
+    return;
+  }
+  pending_fanout_.push_back(hve_ciphertext);
+  if (pending_fanout_.size() >= hard_.batch_size) {
+    flush_broadcasts();
+  } else if (!fanout_deadline_.has_value()) {
+    fanout_deadline_ = network_.now() + jittered(hard_.flush_interval);
+  }
+}
+
+void DisseminationServer::flush_broadcasts() {
+  fanout_deadline_.reset();
+  if (pending_fanout_.empty()) return;
+  // DRBG Fisher–Yates over the queued broadcasts: a reacting subscriber is
+  // attributable to the batch, not to any publication's arrival order.
+  for (std::size_t i = pending_fanout_.size(); i > 1; --i) {
+    std::uint64_t x = 0;
+    for (const std::uint8_t b : hard_drbg_->bytes(8)) x = (x << 8) | b;
+    std::swap(pending_fanout_[i - 1],
+              pending_fanout_[static_cast<std::size_t>(x % i)]);
+  }
+  for (const Bytes& ct : pending_fanout_) fan_out_metadata(ct);
+  pending_fanout_.clear();
+  ds_metrics().batch_flushes.inc();
+}
+
+void DisseminationServer::poll() {
+  if (!hard_.any_enabled()) return;
+  const double now = network_.now();
+  if (fanout_deadline_.has_value() && now >= *fanout_deadline_) {
+    flush_broadcasts();
+  }
+  if (hard_.cover_interval > 0.0) {
+    if (!next_cover_.has_value()) {
+      next_cover_ = now + jittered(hard_.cover_interval);
+    } else if (now >= *next_cover_) {
+      // Garbage of a real ciphertext's size: after sealing (and bucketed
+      // padding, when on) a cover broadcast is indistinguishable from a
+      // publication on the wire; subscribers parse it into a universal
+      // non-match (no pairing work done).
+      fan_out_metadata(hard_drbg_->bytes(last_hve_size_));
+      ds_metrics().cover.inc();
+      next_cover_ = network_.now() + jittered(hard_.cover_interval);
+    }
+  }
 }
 
 void DisseminationServer::mark_done(const Bytes& request_id) {
@@ -149,8 +247,10 @@ void DisseminationServer::handle_store_ack(const std::string& from, Reader& r) {
   PendingStore pending = std::move(it->second);
   pending_stores_.erase(it);
   mark_done(request_id);
-  // The payload is durably stored; now the broadcast cannot outrun it.
-  fan_out_metadata(pending.hve_ciphertext);
+  // The payload is durably stored; now the broadcast cannot outrun it. (A
+  // batched flush only delays the broadcast further — the store-first
+  // ordering is preserved, and the publisher ack below never waits on it.)
+  schedule_fanout(pending.hve_ciphertext);
   Writer ack;
   ack.u8(static_cast<std::uint8_t>(FrameType::kPublishAck));
   ack.raw(request_id);
@@ -176,16 +276,27 @@ void DisseminationServer::fan_out_metadata(const Bytes& hve_ciphertext) {
   // pre-drawn serially in subscriber order and replayed per task — the wire
   // bytes are identical to the sequential loop for any pool size. Sends stay
   // on this thread: net::Network is not thread-safe.
-  Writer legacy;
-  legacy.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
-  legacy.bytes(hve_ciphertext);
-  Writer indexed;
-  indexed.u8(static_cast<std::uint8_t>(FrameType::kMetadataDeliverySeq));
-  indexed.u64(index);
-  indexed.bytes(hve_ciphertext);
+  Writer legacy_w;
+  legacy_w.u8(static_cast<std::uint8_t>(FrameType::kMetadataDelivery));
+  legacy_w.bytes(hve_ciphertext);
+  Writer indexed_w;
+  indexed_w.u8(static_cast<std::uint8_t>(FrameType::kMetadataDeliverySeq));
+  indexed_w.u64(index);
+  indexed_w.bytes(hve_ciphertext);
+  Bytes legacy = legacy_w.take();
+  Bytes indexed = indexed_w.take();
+  if (hard_.pad_bucket > 0) {
+    // Bucketed broadcast padding: the sealed record size then rounds with
+    // the bucket instead of tracking the metadata ciphertext byte-for-byte.
+    const std::size_t before = legacy.size() + indexed.size();
+    legacy = pad_to_bucket(std::move(legacy), hard_.pad_bucket, *hard_drbg_);
+    indexed =
+        pad_to_bucket(std::move(indexed), hard_.pad_bucket, *hard_drbg_);
+    metrics.pad_bytes.inc(legacy.size() + indexed.size() - before);
+  }
   std::vector<const std::string*> subs;
   std::vector<net::SecureSession*> sess;
-  std::vector<const Writer*> payloads;
+  std::vector<const Bytes*> payloads;
   subs.reserve(subscribers_.size());
   sess.reserve(subscribers_.size());
   payloads.reserve(subscribers_.size());
@@ -206,7 +317,7 @@ void DisseminationServer::fan_out_metadata(const Bytes& hve_ciphertext) {
     ReplayRng nonce_rng(nonces[i]);
     Writer w;
     w.u8(static_cast<std::uint8_t>(FrameType::kChannelRecord));
-    w.bytes(sess[i]->seal(payloads[i]->data(), nonce_rng));
+    w.bytes(sess[i]->seal(*payloads[i], nonce_rng));
     records[i] = w.take();
   });
   for (std::size_t i = 0; i < subs.size(); ++i) {
@@ -263,7 +374,7 @@ void DisseminationServer::handle_inner(const std::string& from,
       if (!publishers_.contains(from)) return;
       const Bytes hve_ct = r.bytes();
       r.expect_done();
-      fan_out_metadata(hve_ct);
+      schedule_fanout(hve_ct);
       return;
     }
     case FrameType::kPublishContent: {

@@ -20,8 +20,10 @@
 #include <vector>
 
 #include "common/serial.hpp"
+#include "crypto/drbg.hpp"
 #include "net/network.hpp"
 #include "net/secure.hpp"
+#include "p3s/hardening.hpp"
 #include "pairing/ecies.hpp"
 
 namespace p3s::core {
@@ -45,6 +47,17 @@ class DisseminationServer {
   /// Publish requests stored on the RS but not yet acknowledged.
   std::size_t pending_store_count() const { return pending_stores_.size(); }
 
+  /// Broadcast shaping (DESIGN.md §11): batched fanout with a DRBG-jittered
+  /// flush, bucketed broadcast padding, and garbage cover broadcasts. All
+  /// off by default; enabling creates the dedicated hardening DRBG.
+  void set_hardening(DsHardening hardening);
+  const DsHardening& hardening() const { return hard_; }
+  /// Hardening driver: flush a due broadcast batch and inject due cover.
+  /// Call whenever network time may have advanced; no-op unhardened.
+  void poll();
+  /// Broadcasts queued for the next batched flush.
+  std::size_t queued_broadcast_count() const { return pending_fanout_.size(); }
+
   /// Curious log: per-source frame sizes. The privacy tests check that no
   /// plaintext metadata/payload/interest ever reaches the DS.
   struct Observation {
@@ -61,6 +74,16 @@ class DisseminationServer {
   /// incarnation tells reliable subscribers their sequence space reset.
   void crash_and_restart();
 
+  /// Malicious-DS model (DESIGN.md §11, the attack suite's replay-griefing
+  /// scenario): re-seal and re-send every retained broadcast to every
+  /// connected subscriber. The DS owns the channel keys, so each replay
+  /// carries a fresh channel sequence number and the transport-level replay
+  /// protection cannot reject it — only the broadcast-index layer of the
+  /// reliable protocol can. Fire-and-forget subscribers reprocess the
+  /// metadata (match + fetch amplification); reliable ones suppress it.
+  /// Returns the number of frames sent.
+  std::size_t replay_broadcasts();
+
  private:
   struct PendingStore {
     std::string publisher;
@@ -75,6 +98,11 @@ class DisseminationServer {
   /// parallel (legacy frame for fire-and-forget subscribers, indexed frame
   /// for reliable ones) and send to every registered subscriber.
   void fan_out_metadata(const Bytes& hve_ciphertext);
+  /// Batching indirection: queue the broadcast for a jittered flush when
+  /// hardening batches, otherwise fan out immediately (base behavior).
+  void schedule_fanout(const Bytes& hve_ciphertext);
+  void flush_broadcasts();
+  double jittered(double base);
   void handle_store_ack(const std::string& from, Reader& r);
   void mark_done(const Bytes& request_id);
 
@@ -103,6 +131,19 @@ class DisseminationServer {
   std::map<Bytes, PendingStore> pending_stores_;
   std::set<Bytes> done_requests_;
   std::deque<Bytes> done_order_;  // FIFO eviction for done_requests_
+
+  // --- broadcast shaping (DESIGN.md §11) -----------------------------------
+  // Hardening randomness comes from a dedicated DRBG, not rng_: enabling
+  // shaping must not shift the shared test RNG stream (the fanout seals'
+  // wire-determinism pin depends on it). Cover broadcasts DO consume rng_
+  // seal nonces like any real fanout — that is inherent to being real
+  // broadcasts.
+  DsHardening hard_;
+  std::optional<crypto::Drbg> hard_drbg_;
+  std::vector<Bytes> pending_fanout_;  // queued hve cts awaiting flush
+  std::optional<double> fanout_deadline_;
+  std::optional<double> next_cover_;
+  std::size_t last_hve_size_ = 256;  // cover broadcasts mimic real ct size
 };
 
 }  // namespace p3s::core

@@ -1,0 +1,79 @@
+// Traffic-shape hardening knobs (DESIGN.md §11 "Threat model & adversarial
+// suite"). The attack literature the adversarial suite executes (Vivek's
+// frequency/inference probes; the survey's intersection and timing attacks)
+// wins through traffic SHAPE — sizes, counts, timing — which the base
+// protocol's cryptography does not hide. These configs enable the three
+// standard mixes of countermeasures, all OFF by default so the base wire
+// protocol stays bit-identical:
+//
+//   * batched mixing with a DRBG-jittered flush (anonymizer and DS): held
+//     frames leave in a shuffled burst at an unpredictable time, so an
+//     observer cannot link a request to its trigger by FIFO order or timing;
+//   * padding to bucketed frame sizes: wire size stops fingerprinting which
+//     metadata/payload a frame carries;
+//   * cover traffic: decoy fetches (anonymizer) and garbage broadcasts (DS)
+//     that give a lone real frame a crowd to hide in.
+//
+// Every knob draws its randomness from a dedicated crypto::Drbg seeded from
+// the config, NEVER from the component's shared test RNG — enabling
+// hardening must not shift the main RNG stream (wire-level determinism pins
+// in other tests depend on it).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace p3s::core {
+
+/// Anonymizer mixing (src/p3s/anonymizer): batch, shuffle, jitter, decoys.
+struct AnonHardening {
+  /// Hold forwarded requests and flush them as a shuffled batch instead of
+  /// relaying immediately (immediate relay preserves FIFO order and timing —
+  /// the linkage an eavesdropper exploits).
+  bool batching = false;
+  /// Flush as soon as this many requests are held.
+  std::size_t batch_size = 4;
+  /// ... or when the oldest held request has waited this long (network time
+  /// units), plus jitter so the flush time itself leaks nothing.
+  double flush_interval = 200.0;
+  double flush_jitter = 100.0;  // uniform [0, jitter) extra, DRBG-drawn
+  /// Top a short batch up to this size with decoy RS fetches before
+  /// flushing (0 = never). A single-subscriber batch has no crowd to hide
+  /// in: it is padded with decoys, or held until the deadline forces it out.
+  std::size_t min_batch = 0;
+  /// Pad relayed requests and responses to this bucket (0 = off).
+  std::size_t pad_bucket = 0;
+  /// Seed for the dedicated mixing/decoy DRBG.
+  std::uint64_t seed = 0xa70'11;
+
+  bool any_enabled() const {
+    return batching || min_batch > 0 || pad_bucket > 0;
+  }
+};
+
+/// Dissemination-server broadcast shaping: batch publishes, pad broadcast
+/// frames, inject garbage cover broadcasts.
+struct DsHardening {
+  /// Queue fanouts and flush them as one shuffled burst: a reacting
+  /// subscriber is then attributable only to the batch, not to a single
+  /// publication (defeats per-round frequency fingerprinting and blunts the
+  /// chosen-publication probe oracle).
+  bool batching = false;
+  std::size_t batch_size = 4;
+  double flush_interval = 200.0;
+  double flush_jitter = 100.0;  // uniform [0, jitter) extra, DRBG-drawn
+  /// Pad broadcast inner frames to this bucket (0 = off); sealed record
+  /// sizes then stop fingerprinting the metadata ciphertext.
+  std::size_t pad_bucket = 0;
+  /// Inject a garbage broadcast roughly every this many network time units
+  /// (0 = off). Subscribers treat garbage as a universal non-match, so cover
+  /// costs them no pairing work beyond the parse attempt.
+  double cover_interval = 0.0;
+  std::uint64_t seed = 0xd5'c0;
+
+  bool any_enabled() const {
+    return batching || pad_bucket > 0 || cover_interval > 0.0;
+  }
+};
+
+}  // namespace p3s::core

@@ -31,8 +31,29 @@ TaggedBody read_tagged(Reader& r) {
   TaggedBody body;
   body.tag = r.u64();
   body.payload = r.bytes();
-  r.expect_done();
+  skip_pad(r);
   return body;
+}
+
+void skip_pad(Reader& r) {
+  if (!r.done()) (void)r.bytes();  // optional trailing pad field
+  r.expect_done();
+}
+
+Bytes pad_to_bucket(Bytes frame, std::size_t bucket, Rng& rng) {
+  if (bucket == 0) return frame;
+  // The pad travels as one extra u32-length-prefixed bytes field appended to
+  // the frame, so the padded size is exactly the next multiple of `bucket`
+  // that fits the 4-byte prefix. Pad content is rng-drawn so padding is
+  // indistinguishable from ciphertext on the wire.
+  const std::size_t with_prefix = frame.size() + 4;
+  const std::size_t target =
+      ((with_prefix + bucket - 1) / bucket) * bucket;
+  const std::size_t pad_len = target - with_prefix;
+  Writer w;
+  w.raw(frame);
+  w.bytes(rng.bytes(pad_len));
+  return w.take();
 }
 
 Bytes content_body(const ContentBody& c) {

@@ -9,6 +9,7 @@
 
 #include "common/bytes.hpp"
 #include "common/guid.hpp"
+#include "common/rng.hpp"
 #include "common/serial.hpp"
 
 namespace p3s::core {
@@ -75,6 +76,18 @@ struct TaggedBody {
 };
 Bytes tagged_frame(FrameType type, std::uint64_t tag, BytesView payload);
 TaggedBody read_tagged(Reader& r);
+
+// --- traffic-shape hardening (DESIGN.md §11) -------------------------------
+// Frames that cross an eavesdropper-visible link may carry one OPTIONAL
+// trailing bytes field of rng-drawn pad so their wire size rounds up to a
+// configured bucket; size then stops fingerprinting the content. Readers
+// accept-and-discard the field whether or not padding is configured, so
+// padded and unpadded deployments interoperate.
+/// Consume the optional trailing pad field, then require the end of `r`.
+void skip_pad(Reader& r);
+/// Append a pad field so `frame` sizes to the next multiple of `bucket`
+/// (bucket 0 = passthrough). Use on frames whose readers end in skip_pad().
+Bytes pad_to_bucket(Bytes frame, std::size_t bucket, Rng& rng);
 
 // kPublishContent / kStoreContent body. The GUID field is either the raw
 // 16-byte GUID (paper Fig. 4, in the clear) or — when the publisher enables

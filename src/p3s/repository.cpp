@@ -138,8 +138,15 @@ void RepositoryServer::on_frame(const std::string& from, BytesView data) {
       }
       // Super-encrypted under the requester's Ks so eavesdroppers cannot
       // tell whether two subscribers fetched the same payload (paper §6.1).
+      // With padding on, hit and miss plaintexts round up to the same bucket
+      // before sealing, so response SIZE leaks nothing either (DESIGN.md §11).
+      Bytes plain_resp = inner.take();
+      if (response_pad_bucket_ > 0) {
+        plain_resp =
+            pad_to_bucket(std::move(plain_resp), response_pad_bucket_, rng_);
+      }
       const Bytes sealed =
-          crypto::aead_encrypt(ks, inner.data(), str_to_bytes("content-resp"),
+          crypto::aead_encrypt(ks, plain_resp, str_to_bytes("content-resp"),
                                rng_)
               .serialize();
       network_.send(name_, from,

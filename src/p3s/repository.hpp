@@ -32,6 +32,15 @@ class RepositoryServer {
   /// Returns how many items were collected.
   std::size_t garbage_collect();
 
+  /// Hardening (DESIGN.md §11): pad the plaintext of every content response
+  /// up to a multiple of `bucket` BEFORE sealing under Ks, so hit and miss
+  /// (and small vs. large payloads within a bucket) produce identically
+  /// sized frames on both the rs→anon and anon→sub legs. 0 disables.
+  void set_response_pad_bucket(std::size_t bucket) {
+    response_pad_bucket_ = bucket;
+  }
+  std::size_t response_pad_bucket() const { return response_pad_bucket_; }
+
   std::size_t stored_items() const { return store_.size(); }
 
   /// --- Curious log (paper §6.1: what the HBC RS can know) ---------------
@@ -68,6 +77,7 @@ class RepositoryServer {
   pairing::EciesKeyPair keys_;
   Rng& rng_;
   double grace_seconds_;
+  std::size_t response_pad_bucket_ = 0;
   std::map<Guid, Item> store_;
   std::map<Guid, std::size_t> request_counts_;
   std::vector<std::string> sources_;

@@ -374,7 +374,7 @@ void Subscriber::handle_inner(BytesView inner) {
   }
   if (type == FrameType::kMetadataDelivery) {
     const Bytes hve_ct = r.bytes();
-    r.expect_done();
+    skip_pad(r);  // hardened DS pads broadcasts to a bucket
     handle_metadata(hve_ct);
     return;
   }
@@ -418,7 +418,7 @@ void Subscriber::handle_reliable_ack(Reader& r) {
 void Subscriber::handle_sequenced_metadata(Reader& r) {
   const std::uint64_t index = r.u64();
   const Bytes hve_ct = r.bytes();
-  r.expect_done();
+  skip_pad(r);  // hardened DS pads broadcasts to a bucket
   if (!meta_baseline_) return;  // pre-ack frame; recovered via sync
   if (index >= next_meta_index_) {
     for (std::uint64_t i = next_meta_index_; i < index; ++i) {
@@ -549,7 +549,7 @@ void Subscriber::handle_content_response(BytesView body) {
   Reader pr(*plain);
   const std::uint8_t status = pr.u8();
   const Bytes abe_ct = pr.bytes();
-  pr.expect_done();
+  skip_pad(pr);  // hardened RS pads responses inside the AEAD
   SubMetrics& metrics = sub_metrics();
   if (status != kStatusOk) {
     ++fetch_failures_;

@@ -13,10 +13,18 @@ P3sSystem::P3sSystem(net::Network& network, P3sConfig config, Rng& rng)
   ts_ = std::make_unique<PbeTokenServer>(
       network_, config_.ts_name, config_.pairing, ara_.hve_keys(),
       ara_.schema(), ara_.certificate_pk(), rng);
+  rs_->set_response_pad_bucket(config_.rs_response_pad_bucket);
   ds_ = std::make_unique<DisseminationServer>(
       network_, config_.ds_name, config_.pairing, config_.rs_name, rng);
+  ds_->set_hardening(config_.ds_hardening);
   if (config_.with_anonymizer) {
-    anon_ = std::make_unique<Anonymizer>(network_, config_.anon_name);
+    anon_ = std::make_unique<Anonymizer>(network_, config_.anon_name,
+                                         config_.anon_hardening);
+    if (config_.anon_hardening.min_batch > 0) {
+      // Decoy fetches need the RS public key; without cover material a short
+      // batch is held until its deadline instead of being topped up.
+      anon_->enable_cover(config_.pairing, config_.rs_name, rs_->public_key());
+    }
   }
 
   directory_.ds_name = config_.ds_name;

@@ -29,6 +29,11 @@ struct P3sConfig {
   /// (DESIGN.md "Reliability"). Off by default: the wire traffic is then
   /// bit-identical to the fire-and-forget base protocol.
   ReliabilityConfig reliability;
+  /// Traffic-shaping defenses (DESIGN.md §11) — all off by default so the
+  /// base wire protocol is byte-identical to the unhardened system.
+  AnonHardening anon_hardening;
+  DsHardening ds_hardening;
+  std::size_t rs_response_pad_bucket = 0;
   std::string ds_name = "ds";
   std::string rs_name = "rs";
   std::string ts_name = "pbe-ts";

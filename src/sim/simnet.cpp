@@ -73,8 +73,17 @@ std::size_t SimNetwork::dropped_on(const std::string& from,
 
 void SimNetwork::send_sized(const std::string& from, const std::string& to,
                             Bytes frame, std::size_t wire_size) {
-  traffic_.push_back({now(), from, to, wire_size, frame});
   SimNetMetrics& metrics = simnet_metrics();
+  if (plan_.has_value() && plan_->in_blackout(from, now())) {
+    // A dark sender's frames die on the host — no NIC time, no wire, and
+    // therefore no entry in the eavesdropper's traffic log. Every other
+    // fault below loses the frame PAST the observation point.
+    ++dropped_;
+    ++dropped_by_link_[{from, to}];
+    metrics.fault_blackout_dropped.inc();
+    return;
+  }
+  traffic_.push_back({now(), from, to, wire_size, frame});
   metrics.frames.inc();
   metrics.frame_bytes.record(static_cast<double>(wire_size));
   const LinkConfig& link = link_for(from, to);
@@ -92,8 +101,7 @@ void SimNetwork::send_sized(const std::string& from, const std::string& to,
       ++dropped_by_link_[{from, to}];
       counter.inc();
     };
-    if (plan_->in_blackout(from, now()) ||
-        plan_->in_blackout(to, arrival)) {
+    if (plan_->in_blackout(to, arrival)) {
       lost(metrics.fault_blackout_dropped);
       return;
     }

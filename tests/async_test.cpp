@@ -162,12 +162,15 @@ TEST(FaultPlan, BlackoutWindowSilencesEndpoint) {
   net.send("a", "b", Bytes{2});
   net.run_until_idle();
   EXPECT_EQ(got, 1);
-  // Sender-side blackout: frames from a dark endpoint are lost at send time.
+  // Sender-side blackout: frames from a dark endpoint are lost at send
+  // time, BEFORE the wire — so unlike drops/receiver blackouts (lost past
+  // the observation point) they never appear on the eavesdropper log.
   net.fault_plan()->add_blackout("b", net.now(), net.now() + 1000.0);
+  const std::size_t wire_before = net.traffic().size();
   net.send("b", "a", Bytes{3});
   net.run_until_idle();
   EXPECT_EQ(net.dropped_frames(), 2u);
-  EXPECT_EQ(net.traffic().size(), 3u);  // still all on the eavesdropper log
+  EXPECT_EQ(net.traffic().size(), wire_before);
 }
 
 TEST(FaultPlan, DelayHoldsFrameUntilItsTick) {

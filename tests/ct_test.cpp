@@ -20,10 +20,15 @@
 #include <cstring>
 #include <vector>
 
+#include "abe/policy.hpp"
+#include "common/guid.hpp"
 #include "common/rng.hpp"
 #include "crypto/aead.hpp"
 #include "crypto/ct.hpp"
 #include "crypto/hmac.hpp"
+#include "net/network.hpp"
+#include "p3s/system.hpp"
+#include "pairing/ecies.hpp"
 #include "pairing/pairing.hpp"
 #include "pbe/hve.hpp"
 
@@ -242,6 +247,89 @@ TEST(ConstantTime, NaiveCompareLeaksAsExpected) {
       4000, rng);
   EXPECT_GT(std::abs(t), kMaxCtT)
       << "harness failed to detect a known-variable-time compare";
+}
+
+// --- wire-shape indistinguishability (DESIGN.md §11) -------------------------
+// The timing harness above covers the LOCAL match decision; this covers the
+// WIRE: with response padding on, an eavesdropper watching the RS must see
+// the same response count and the same frame size whether a content fetch
+// hit a stored item or missed. The unpadded control proves the assertion is
+// not vacuous (hit and miss genuinely differ in size without the defense).
+
+namespace wire_shape {
+
+/// Sizes of the kContentResponse frames the RS emitted for one hit and one
+/// miss fetch under `pad_bucket`.
+std::pair<std::size_t, std::size_t> hit_miss_response_sizes(
+    std::size_t pad_bucket) {
+  net::DirectNetwork net;
+  TestRng rng(0x3147);
+  const pairing::PairingPtr pp = pairing::Pairing::test_pairing();
+  core::P3sConfig config;
+  config.pairing = pp;
+  config.schema = pbe::MetadataSchema(
+      {{"sector", {"finance", "tech"}}, {"grade", {"x", "y"}}});
+  config.rs_grace_seconds = 1e9;
+  config.rs_response_pad_bucket = pad_bucket;
+  core::P3sSystem system(net, std::move(config), rng);
+  auto sub = system.make_subscriber("sub1", "alice", {"m"}, rng);
+  auto pub = system.make_publisher("pub1", "press", rng);
+  sub->subscribe({{"sector", "finance"}});
+  EXPECT_EQ(sub->token_count(), 1u);
+
+  const std::string rs = system.directory().rs_name;
+  const auto response_sizes = [&] {
+    std::vector<std::size_t> sizes;
+    for (const auto& rec : net.traffic()) {
+      if (rec.from == rs) {
+        Reader r(rec.frame);
+        if (core::read_frame_type(r) == core::FrameType::kContentResponse) {
+          sizes.push_back(rec.size);
+        }
+      }
+    }
+    return sizes;
+  };
+
+  // Hit: a genuine publication the subscriber matches and fetches.
+  pub->publish({{"sector", "finance"}, {"grade", "x"}},
+               str_to_bytes("wire-shape-payload"), abe::parse_policy("m"),
+               1e9);
+  EXPECT_EQ(sub->deliveries().size(), 1u);
+  auto sizes = response_sizes();
+  EXPECT_EQ(sizes.size(), 1u);  // exactly one response per fetch
+  const std::size_t hit_size = sizes.empty() ? 0 : sizes.back();
+
+  // Miss: the same 2-tuple request shape for a GUID the RS never stored
+  // (byte-compatible with Subscriber::request_content and the relay's
+  // decoys). The observer endpoint just swallows the reply.
+  net.register_endpoint("probe", [](const std::string&, BytesView) {});
+  Writer plain;
+  plain.bytes(rng.bytes(32));
+  plain.raw(Guid::random(rng).to_bytes());
+  const Bytes blob = pairing::ecies_encrypt(*pp, system.directory().rs_pk,
+                                            plain.data(), rng);
+  net.send("probe", rs,
+           core::tagged_frame(core::FrameType::kContentRequest, 7, blob));
+  sizes = response_sizes();
+  EXPECT_EQ(sizes.size(), 2u);
+  const std::size_t miss_size = sizes.size() < 2 ? 0 : sizes.back();
+  return {hit_size, miss_size};
+}
+
+}  // namespace wire_shape
+
+TEST(WireShape, PaddedContentResponsesHideHitVsMiss) {
+  const auto [hit, miss] = wire_shape::hit_miss_response_sizes(4096);
+  EXPECT_EQ(hit, miss)
+      << "padded hit/miss responses must be indistinguishable by size";
+}
+
+TEST(WireShape, UnpaddedControlActuallyDiffers) {
+  const auto [hit, miss] = wire_shape::hit_miss_response_sizes(0);
+  EXPECT_NE(hit, miss)
+      << "control lost its signal: hit and miss already equal unpadded, "
+         "so the padded assertion above would be vacuous";
 }
 
 }  // namespace

@@ -200,11 +200,38 @@ TEST(Messages, TruncatedContentBodyRejected) {
 }
 
 TEST(Messages, TrailingGarbageAfterBodyRejected) {
+  // A trailer is only legal when it parses as one complete pad field
+  // (u32-length-prefixed bytes, DESIGN.md §11); anything else still throws.
   Bytes wire = tagged_frame(FrameType::kAraResponse, 3, str_to_bytes("ok"));
-  wire.push_back(0x00);
+  wire.push_back(0x00);  // not a complete length-prefixed field
   Reader r(wire);
   EXPECT_EQ(read_frame_type(r), FrameType::kAraResponse);
-  EXPECT_THROW(read_tagged(r), std::invalid_argument);
+  EXPECT_THROW(read_tagged(r), std::exception);
+}
+
+TEST(Messages, BucketPaddingSkippedAndBoundedTrailerEnforced) {
+  TestRng rng(7);
+  const Bytes base = tagged_frame(FrameType::kAraResponse, 3, str_to_bytes("ok"));
+
+  // Padded frames land exactly on the bucket boundary and parse cleanly.
+  const Bytes padded = pad_to_bucket(base, 96, rng);
+  EXPECT_EQ(padded.size() % 96, 0u);
+  EXPECT_GE(padded.size(), base.size());
+  Reader pr(padded);
+  EXPECT_EQ(read_frame_type(pr), FrameType::kAraResponse);
+  const TaggedBody body = read_tagged(pr);
+  EXPECT_EQ(body.tag, 3u);
+  EXPECT_EQ(body.payload, str_to_bytes("ok"));
+
+  // Garbage AFTER the pad field is still trailing garbage.
+  Bytes padded_plus = padded;
+  padded_plus.push_back(0xff);
+  Reader gr(padded_plus);
+  EXPECT_EQ(read_frame_type(gr), FrameType::kAraResponse);
+  EXPECT_THROW(read_tagged(gr), std::invalid_argument);
+
+  // bucket = 0 disables padding entirely.
+  EXPECT_EQ(pad_to_bucket(base, 0, rng), base);
 }
 
 TEST(Messages, CertificateRoundTripAndTamperDetection) {

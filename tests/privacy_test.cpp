@@ -268,6 +268,42 @@ TEST(PrivacyUnderLoss, DroppedFramesStillReachTheEavesdropper) {
   EXPECT_EQ(net.dropped_on("b", "c"), 0u);
 }
 
+TEST(PrivacyUnderLoss, SenderBlackoutFramesNeverReachTheEavesdropper) {
+  // The converse boundary: a blacked-out SENDER is off the network, so its
+  // frames are lost before the wire — the eavesdropper must NOT see them.
+  // (Receiver-side loss — plan drops, receiver blackouts — happens past
+  // the observation point and stays in the log, as pinned above.) This is
+  // the end-to-end form of the recording-order fix in AsyncNetwork::send.
+  net::AsyncNetwork net;
+  TestRng rng(0xb0b);
+  P3sConfig config;
+  config.pairing = pairing::Pairing::test_pairing();
+  config.schema = test_schema();
+  P3sSystem system(net, std::move(config), rng);
+  auto sub = system.make_subscriber("sub1", "alice", {"analyst"}, rng);
+  auto pub = system.make_publisher("pub1", "acme", rng);
+  net.run_until_idle();
+  sub->subscribe({{"sector", "finance"}});
+  net.run_until_idle();
+  ASSERT_EQ(sub->token_count(), 1u);
+
+  net::FaultPlan plan(7);
+  plan.add_blackout("pub1", net.now(), net.now() + 1e6);
+  net.set_fault_plan(std::move(plan));
+  const std::size_t wire_before = net.traffic().size();
+  pub->publish({{"sector", "finance"}, {"region", "us"}, {"event", "ipo"}},
+               str_to_bytes("dark-sender-payload"), abe::parse_policy("analyst"));
+  net.run_until_idle();
+  // The publisher was dark: nothing it sent hit the wire, nobody reacted.
+  EXPECT_EQ(net.traffic().size(), wire_before);
+  EXPECT_GT(net.dropped_frames(), 0u);
+  EXPECT_EQ(sub->deliveries().size(), 0u);
+  for (std::size_t i = wire_before; i < net.traffic().size(); ++i) {
+    ADD_FAILURE() << "unexpected frame " << net.traffic()[i].from << " -> "
+                  << net.traffic()[i].to;
+  }
+}
+
 TEST(PrivacyUnderLoss, LossyFlowLeaksNothingExtra) {
   // The §6.1 wire assertions hold under loss too: a full flow over a lossy
   // AsyncNetwork (with the reliable layer retrying) still never puts the

@@ -34,6 +34,11 @@ inline const std::map<std::string, std::set<std::string>>& layering_dag() {
       {"p3s",
        {"abe", "common", "crypto", "exec", "math", "net", "obs", "pairing",
         "pbe"}},
+      // Adversary harness (DESIGN.md §11): sits above the full stack so its
+      // scenarios can deploy a P3sSystem and analyze the traffic log.
+      {"attack",
+       {"abe", "common", "crypto", "exec", "math", "net", "obs", "p3s",
+        "pairing", "pbe"}},
   };
   return dag;
 }
